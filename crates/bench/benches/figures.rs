@@ -1,0 +1,234 @@
+//! Criterion benches for the figure experiments F1–F8: one group per figure,
+//! timing the experiment's *core operation* at Quick scale (the full sweeps
+//! live in the `expts` binary; Criterion times the unit of work each figure
+//! repeats).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_bench::Fixture;
+use dde_core::{
+    ContinuousConfig, ContinuousEstimator, DensityEstimator, DfDde, DfDdeConfig, ProbeStrategy,
+    SampleMode,
+};
+use dde_ring::{ChurnConfig, ChurnProcess, RingId};
+use dde_sim::experiments::t1_defaults::default_scenario;
+use dde_sim::experiments::Scale;
+use dde_sim::{build, Scenario};
+use dde_stats::dist::DistributionKind;
+use dde_stats::rng::{Component, SeedSequence};
+use rand::Rng;
+
+fn bench_estimate(c: &mut Criterion, group: &str, scenario: &Scenario, probes: &[usize]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for &k in probes {
+        let mut built = build(scenario);
+        let mut rng = SeedSequence::new(7).stream(Component::Estimator, k as u64);
+        let est = DfDde::new(DfDdeConfig::with_probes(k));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// F1: one estimate per probe budget.
+fn f1(c: &mut Criterion) {
+    bench_estimate(c, "f1_probes", &default_scenario(Scale::Quick), &[16, 64, 256]);
+}
+
+/// F2: one estimate per network size.
+fn f2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_network_size");
+    g.sample_size(10);
+    for p in [64usize, 512, 2048] {
+        let scenario = default_scenario(Scale::Quick).with_peers(p).with_items(10_000);
+        let mut built = build(&scenario);
+        let mut rng = SeedSequence::new(8).stream(Component::Estimator, p as u64);
+        let est = DfDde::new(DfDdeConfig::with_probes(64));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// F3: one estimate per distribution.
+fn f3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f3_distributions");
+    g.sample_size(10);
+    for kind in [
+        DistributionKind::Uniform,
+        DistributionKind::Pareto { shape: 1.2 },
+        DistributionKind::Bimodal,
+    ] {
+        let scenario = default_scenario(Scale::Quick).with_distribution(kind.clone());
+        let mut built = build(&scenario);
+        let mut rng = SeedSequence::new(9).stream(Component::Estimator, 0);
+        let est = DfDde::new(DfDdeConfig::with_probes(64));
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// F4: the probing strategies the frontier compares (stratified vs iid).
+fn f4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_cost_accuracy");
+    g.sample_size(10);
+    for (label, strategy) in
+        [("stratified", ProbeStrategy::Stratified), ("iid", ProbeStrategy::IidUniform)]
+    {
+        let mut built = build(&default_scenario(Scale::Quick));
+        let mut rng = SeedSequence::new(10).stream(Component::Estimator, 0);
+        let est = DfDde::new(DfDdeConfig { strategy, ..DfDdeConfig::with_probes(64) });
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// F5: one churn unit + one estimate (the per-point work of the churn sweep).
+fn f5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f5_churn");
+    g.sample_size(10);
+    let scenario = default_scenario(Scale::Quick);
+    g.bench_function("churn_then_estimate", |b| {
+        b.iter(|| {
+            let mut built = build(&scenario);
+            let seq = SeedSequence::new(11);
+            let mut churn_rng = seq.stream(Component::Churn, 0);
+            let mut est_rng = seq.stream(Component::Estimator, 0);
+            let mut churn = ChurnProcess::new(ChurnConfig::symmetric(0.1, 0.5));
+            churn.run(&mut built.net, 2.0, &mut churn_rng);
+            let initiator = built.net.random_peer(&mut est_rng).expect("nonempty");
+            DfDde::new(DfDdeConfig::with_probes(64))
+                .estimate(&mut built.net, initiator, &mut est_rng)
+                .ok()
+        })
+    });
+    g.finish();
+}
+
+/// F5b: one continuous-estimator tick.
+fn f5b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f5b_continuous");
+    g.sample_size(10);
+    let mut built = build(&default_scenario(Scale::Quick));
+    let mut rng = SeedSequence::new(12).stream(Component::Estimator, 0);
+    let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+    let mut cont = ContinuousEstimator::new(ContinuousConfig::default());
+    g.bench_function("tick_and_rebuild", |b| {
+        b.iter(|| {
+            cont.tick(&mut built.net, initiator, &mut rng).expect("tick");
+            cont.current_estimate((0.0, 1000.0)).ok()
+        })
+    });
+    g.finish();
+}
+
+/// F6: probe-reply summary construction per granularity.
+fn f6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f6_granularity");
+    for buckets in [1usize, 8, 64] {
+        let scenario = default_scenario(Scale::Quick).with_summary_buckets(buckets);
+        let built = build(&scenario);
+        let busiest = built
+            .net
+            .ids()
+            .max_by_key(|&id| built.net.node(id).expect("alive").store.len())
+            .expect("nonempty");
+        let store = &built.net.node(busiest).expect("alive").store;
+        g.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &buckets| {
+            b.iter(|| store.summary(buckets))
+        });
+    }
+    g.finish();
+}
+
+/// F7: bulk-loading per dataset size (the per-point setup cost the sweep pays).
+fn f7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f7_dataset_size");
+    g.sample_size(10);
+    for n in [5_000usize, 50_000] {
+        let scenario = default_scenario(Scale::Quick).with_items(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| build(&scenario).net.total_items())
+        });
+    }
+    g.finish();
+}
+
+/// F8: a single lookup per network size.
+fn f8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f8_routing");
+    for p in [64usize, 1024] {
+        let scenario = default_scenario(Scale::Quick).with_peers(p).with_items(1_000);
+        let mut built = build(&scenario);
+        let mut rng = SeedSequence::new(13).stream(Component::Workload, p as u64);
+        let from = built.net.random_peer(&mut rng).expect("nonempty");
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| built.net.lookup(from, RingId(rng.gen())).expect("routes"))
+        });
+    }
+    g.finish();
+}
+
+/// F9: one remote-tuple Phase-2 pass.
+fn f9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f9_sample_quality");
+    g.sample_size(10);
+    let mut built = build(&default_scenario(Scale::Quick));
+    let mut rng = SeedSequence::new(14).stream(Component::Estimator, 0);
+    for (label, mode) in [
+        ("skeleton_only", SampleMode::SkeletonOnly),
+        ("remote_100", SampleMode::RemoteTuples { m: 100 }),
+    ] {
+        let est = DfDde::new(DfDdeConfig { sample_mode: mode, ..DfDdeConfig::with_probes(64) });
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// F10: one stabilization round with replication maintenance on/off.
+fn f10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f10_replication");
+    g.sample_size(10);
+    for r in [0usize, 2] {
+        let mut built = build(&default_scenario(Scale::Quick));
+        built.net.set_replication(r);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            b.iter(|| built.net.stabilize_round())
+        });
+    }
+    g.finish();
+}
+
+/// Smoke sanity so a broken fixture fails loudly in `cargo bench`.
+fn fixture_sanity(c: &mut Criterion) {
+    let mut fx = Fixture::quick();
+    let ks = fx.dfdde_once();
+    assert!(ks < 0.4, "fixture broken: ks = {ks}");
+    c.bench_function("fixture/dfdde_once", |b| b.iter(|| fx.dfdde_once()));
+}
+
+criterion_group!(figures, f1, f2, f3, f4, f5, f5b, f6, f7, f8, f9, f10, fixture_sanity);
+criterion_main!(figures);

@@ -1,0 +1,147 @@
+//! Microbenchmarks of the substrate hot paths: routing, probing, store and
+//! summary operations, sketches, skeleton assembly, KDE, and metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dde_ring::{LocalStore, Network, Placement, RingId};
+use dde_stats::dist::{BoundedPareto, Distribution, Normal, Truncated};
+use dde_stats::equidepth::EquiDepthSummary;
+use dde_stats::gk::GkSketch;
+use dde_stats::kde::{Bandwidth, Kde};
+use dde_stats::metrics::ks_distance;
+use dde_stats::rng::{Component, SeedSequence};
+use dde_stats::{CdfFn, Ecdf, PiecewiseCdf};
+use rand::Rng;
+
+fn ring_net(p: usize, seed: u64) -> Network {
+    let mut rng = SeedSequence::new(seed).stream(Component::NodeIds, 0);
+    let mut ids: Vec<RingId> = (0..p).map(|_| RingId(rng.gen())).collect();
+    ids.sort();
+    ids.dedup();
+    Network::build(ids, Placement::range(0.0, 1000.0))
+}
+
+fn lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/lookup");
+    for p in [256usize, 4096] {
+        let mut net = ring_net(p, 1);
+        let mut rng = SeedSequence::new(2).stream(Component::Workload, p as u64);
+        let from = net.random_peer(&mut rng).expect("nonempty");
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| net.lookup(from, RingId(rng.gen())).expect("routes"))
+        });
+    }
+    g.finish();
+}
+
+fn probe(c: &mut Criterion) {
+    let mut net = ring_net(1024, 3);
+    let dist = Truncated::new(Normal::new(500.0, 120.0), 0.0, 1000.0);
+    let mut data_rng = SeedSequence::new(3).stream(Component::Dataset, 0);
+    let data: Vec<f64> = (0..100_000).map(|_| dist.sample(&mut data_rng)).collect();
+    net.bulk_load(&data);
+    let mut rng = SeedSequence::new(4).stream(Component::Probes, 0);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+    c.bench_function("micro/probe", |b| {
+        b.iter(|| net.probe(from, RingId(rng.gen())).expect("probes"))
+    });
+}
+
+fn store_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro/store");
+    let store = LocalStore::from_values((0..10_000).map(|i| (i % 997) as f64).collect());
+    g.bench_function("count_le", |b| b.iter(|| store.count_le(black_box(498.5))));
+    g.bench_function("summary_8", |b| b.iter(|| store.summary(8)));
+    g.bench_function("summary_64", |b| b.iter(|| store.summary(64)));
+    g.finish();
+}
+
+fn equidepth_query(c: &mut Criterion) {
+    let sorted: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+    let s = EquiDepthSummary::from_sorted(&sorted, 32);
+    c.bench_function("micro/equidepth_count_le", |b| {
+        b.iter(|| s.count_le(black_box(54_321.5)))
+    });
+}
+
+fn gk_insert(c: &mut Criterion) {
+    c.bench_function("micro/gk_insert_10k", |b| {
+        b.iter(|| {
+            let mut sk = GkSketch::new(0.01);
+            for i in 0..10_000u32 {
+                sk.insert(f64::from(i % 997));
+            }
+            sk.size()
+        })
+    });
+}
+
+fn skeleton_assembly(c: &mut Criterion) {
+    // Build realistic probe replies once, then time the assembly alone.
+    let mut net = ring_net(1024, 5);
+    let dist = BoundedPareto::new(0.0, 1000.0, 1.2);
+    let mut data_rng = SeedSequence::new(5).stream(Component::Dataset, 0);
+    let data: Vec<f64> = (0..100_000).map(|_| dist.sample(&mut data_rng)).collect();
+    net.bulk_load(&data);
+    let mut rng = SeedSequence::new(6).stream(Component::Probes, 0);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+    let replies: Vec<_> =
+        (0..256).map(|_| net.probe(from, RingId(rng.gen())).expect("probes")).collect();
+    c.bench_function("micro/skeleton_from_256_probes", |b| {
+        b.iter(|| {
+            dde_core::CdfSkeleton::from_probes(
+                &replies,
+                (0.0, 1000.0),
+                4096,
+                dde_core::skeleton::Weighting::HorvitzThompson,
+            )
+            .expect("builds")
+        })
+    });
+}
+
+fn kde_eval(c: &mut Criterion) {
+    let dist = Truncated::new(Normal::new(0.0, 1.0), -5.0, 5.0);
+    let mut rng = SeedSequence::new(7).stream(Component::Test, 0);
+    let samples: Vec<f64> = (0..5_000).map(|_| dist.sample(&mut rng)).collect();
+    let kde = Kde::fit(samples, Bandwidth::Silverman, (-5.0, 5.0));
+    c.bench_function("micro/kde_pdf", |b| b.iter(|| kde.pdf(black_box(0.7))));
+}
+
+fn metrics_ks(c: &mut Criterion) {
+    let mut rng = SeedSequence::new(8).stream(Component::Test, 0);
+    let dist = Truncated::new(Normal::new(0.0, 1.0), -5.0, 5.0);
+    let ecdf = Ecdf::new((0..10_000).map(|_| dist.sample(&mut rng)).collect());
+    let pw = PiecewiseCdf::from_points(vec![(-5.0, 0.0), (0.0, 0.5), (5.0, 1.0)]);
+    c.bench_function("micro/ks_distance_2048", |b| {
+        b.iter(|| ks_distance(&ecdf, &pw, 2048))
+    });
+    // Keep the CdfFn import meaningfully used.
+    assert!(pw.cdf(0.0) > 0.4);
+}
+
+fn range_query(c: &mut Criterion) {
+    let mut net = ring_net(512, 9);
+    let dist = Truncated::new(Normal::new(500.0, 150.0), 0.0, 1000.0);
+    let mut data_rng = SeedSequence::new(9).stream(Component::Dataset, 0);
+    let data: Vec<f64> = (0..50_000).map(|_| dist.sample(&mut data_rng)).collect();
+    net.bulk_load(&data);
+    let mut rng = SeedSequence::new(10).stream(Component::Workload, 0);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+    c.bench_function("micro/range_query_5pct", |b| {
+        b.iter(|| net.range_query(from, 475.0, 525.0).expect("queries"))
+    });
+}
+
+criterion_group!(
+    micro,
+    lookup,
+    probe,
+    range_query,
+    store_ops,
+    equidepth_query,
+    gk_insert,
+    skeleton_assembly,
+    kde_eval,
+    metrics_ks
+);
+criterion_main!(micro);

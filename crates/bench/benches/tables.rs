@@ -1,0 +1,122 @@
+//! Criterion benches for the table experiments T1–T3: one group per table,
+//! timing each method's single-estimate cost on the default scenario (the
+//! quantities the tables aggregate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dde_core::skeleton::Weighting;
+use dde_core::{
+    AggregateEstimator, DensityEstimator, DfDde, DfDdeConfig, ExactAggregation,
+    GossipAggregation, GossipConfig, ProbeStrategy, UniformPeerConfig, UniformPeerSampling,
+};
+use dde_sim::experiments::t1_defaults::default_scenario;
+use dde_sim::experiments::Scale;
+use dde_sim::{build, NodeLayout};
+use dde_stats::rng::{Component, SeedSequence};
+
+/// T1: the two anchor methods at defaults (df-dde vs exact walk).
+fn t1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_defaults");
+    g.sample_size(10);
+    let mut built = build(&default_scenario(Scale::Quick));
+    let mut rng = SeedSequence::new(20).stream(Component::Estimator, 0);
+
+    let dfdde = DfDde::new(DfDdeConfig::with_probes(128));
+    g.bench_function("df-dde", |b| {
+        b.iter(|| {
+            let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+            dfdde.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+        })
+    });
+    let exact = ExactAggregation::new();
+    g.bench_function("exact-walk", |b| {
+        b.iter(|| {
+            let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+            exact.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+        })
+    });
+    g.finish();
+}
+
+/// T2: one operating point per method in the cost-to-target search.
+fn t2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_cost_to_target");
+    g.sample_size(10);
+    let mut built = build(&default_scenario(Scale::Quick));
+    let mut rng = SeedSequence::new(21).stream(Component::Estimator, 0);
+
+    let up = UniformPeerSampling::new(UniformPeerConfig { peers: 64, ..Default::default() });
+    g.bench_function("uniform-peer", |b| {
+        b.iter(|| {
+            let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+            up.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+        })
+    });
+    let gossip = GossipAggregation::new(GossipConfig { rounds: 10, ..Default::default() });
+    g.bench_function("gossip-10-rounds", |b| {
+        b.iter(|| {
+            let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+            gossip.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+        })
+    });
+    g.finish();
+}
+
+/// T3: HT vs unweighted on the load-balanced layout.
+fn t3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_bias_ablation");
+    g.sample_size(10);
+    let scenario = default_scenario(Scale::Quick).with_layout(NodeLayout::LoadBalanced);
+    let mut built = build(&scenario);
+    let mut rng = SeedSequence::new(22).stream(Component::Estimator, 0);
+    for (label, weighting) in
+        [("horvitz-thompson", Weighting::HorvitzThompson), ("unweighted", Weighting::Unweighted)]
+    {
+        let est = DfDde::new(DfDdeConfig { weighting, ..DfDdeConfig::with_probes(128) });
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// T4: the two probe strategies at the default budget.
+fn t4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_probe_strategy");
+    g.sample_size(10);
+    let mut built = build(&default_scenario(Scale::Quick));
+    let mut rng = SeedSequence::new(23).stream(Component::Estimator, 0);
+    for (label, strategy) in
+        [("stratified", ProbeStrategy::Stratified), ("iid", ProbeStrategy::IidUniform)]
+    {
+        let est = DfDde::new(DfDdeConfig { strategy, ..DfDdeConfig::with_probes(128) });
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// T5: one aggregate query round.
+fn t5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t5_aggregates");
+    g.sample_size(10);
+    let mut built = build(&default_scenario(Scale::Quick));
+    let mut rng = SeedSequence::new(24).stream(Component::Estimator, 0);
+    let est = AggregateEstimator::with_probes(128);
+    g.bench_function("count_sum_avg_var", |b| {
+        b.iter(|| {
+            let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+            est.query(&mut built.net, initiator, &mut rng).expect("queries")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(tables, t1, t2, t3, t4, t5);
+criterion_main!(tables);

@@ -1,0 +1,64 @@
+//! # dde-bench
+//!
+//! The benchmark harness of the ring-DDE reproduction.
+//!
+//! * The **`expts` binary** regenerates every table and figure of the
+//!   (reconstructed) evaluation — `cargo run -p dde-bench --bin expts --release`
+//!   prints them all; pass experiment ids (`f1`, `t3`, …) to run a subset,
+//!   `--full` for paper-scale sweeps, `--csv <dir>` to also dump CSVs.
+//! * The **Criterion benches** (`figures`, `tables`, `micro`) time each
+//!   experiment's core operation and the substrate hot paths.
+//!
+//! Shared fixtures live here so the benches and the binary agree on what
+//! each experiment's "core operation" is.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use dde_core::{DensityEstimator, DfDde, DfDdeConfig};
+use dde_sim::experiments::t1_defaults::{default_probes, default_scenario};
+use dde_sim::experiments::Scale;
+use dde_sim::{build, BuiltScenario};
+use dde_stats::rng::{Component, SeedSequence};
+use rand::rngs::StdRng;
+
+/// A reusable benchmark fixture: a built default-scenario network.
+pub struct Fixture {
+    /// The built scenario.
+    pub built: BuiltScenario,
+    /// RNG for estimation runs.
+    pub rng: StdRng,
+}
+
+impl Fixture {
+    /// Builds the Quick-scale default fixture.
+    pub fn quick() -> Self {
+        let scenario = default_scenario(Scale::Quick);
+        let built = build(&scenario);
+        let rng = SeedSequence::new(scenario.seed).stream(Component::Estimator, 9999);
+        Self { built, rng }
+    }
+
+    /// One DF-DDE estimate at the default probe budget; returns the KS error
+    /// vs the realized data (so benches can assert sanity cheaply).
+    pub fn dfdde_once(&mut self) -> f64 {
+        let est = DfDde::new(DfDdeConfig::with_probes(default_probes(Scale::Quick)));
+        let initiator = self.built.net.random_peer(&mut self.rng).expect("nonempty");
+        let report = est
+            .estimate(&mut self.built.net, initiator, &mut self.rng)
+            .expect("healthy network estimates");
+        report.estimate.ks_to(&self.built.data_ecdf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_estimates() {
+        let mut fx = Fixture::quick();
+        let ks = fx.dfdde_once();
+        assert!(ks < 0.3, "ks = {ks}");
+    }
+}

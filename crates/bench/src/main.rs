@@ -1,0 +1,72 @@
+//! `expts` — regenerates the evaluation's tables and figures.
+//!
+//! ```text
+//! expts [IDS...] [--full] [--csv DIR]
+//!
+//!   IDS      experiment ids to run (t1 f1 f2 f3 f4 f5 f5b f6 f7 f8 t2 t3);
+//!            default: all of them
+//!   --full   paper-scale sweeps (minutes) instead of quick ones (seconds)
+//!   --csv D  additionally write each table as CSV into directory D
+//! ```
+
+use dde_sim::experiments::{run_by_id, Scale, ALL_IDS};
+use std::path::PathBuf;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut csv_dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--csv" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--csv needs a directory argument");
+                    std::process::exit(2);
+                };
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: expts [IDS...] [--full] [--csv DIR]");
+                eprintln!("known ids: {}", ALL_IDS.join(" "));
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let label = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    println!("ring-dde experiment suite ({label} scale)\n");
+
+    for id in &ids {
+        let Some(tables) = run_by_id(id, scale) else {
+            eprintln!("unknown experiment id '{id}' (known: {})", ALL_IDS.join(" "));
+            std::process::exit(2);
+        };
+        for (i, table) in tables.iter().enumerate() {
+            println!("{}", table.to_text());
+            if let Some(dir) = &csv_dir {
+                let file = dir.join(format!("{id}_{i}.csv"));
+                if let Err(e) = std::fs::write(&file, table.to_csv()) {
+                    eprintln!("cannot write {}: {e}", file.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Tiny hand-rolled flag parser (keeps the dependency set to the workspace
+//! whitelist; the surface is small enough that clap would be overkill).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// `--key value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag`s.
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (exclusive of `argv[0]`).
+    ///
+    /// Grammar: the first bare word is the subcommand; `--key value` pairs
+    /// become options unless `value` starts with `--` or is absent, in which
+    /// case `key` is a flag.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty flag '--'".into());
+                }
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.options.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Typed option with default; errors on parse failure.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Option keys that were never consumed (for typo detection): call with
+    /// the known key set after reading everything.
+    pub fn unknown_keys<'a>(&'a self, known: &'a [&str]) -> Vec<&'a str> {
+        self.options
+            .keys()
+            .map(String::as_str)
+            .chain(self.flags.iter().map(String::as_str))
+            .filter(|k| !known.contains(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = parse("estimate --peers 512 --dist zipf --verbose");
+        assert_eq!(a.command.as_deref(), Some("estimate"));
+        assert_eq!(a.get("peers"), Some("512"));
+        assert_eq!(a.get("dist"), Some("zipf"));
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let a = parse("estimate --peers 512");
+        assert_eq!(a.get_or("peers", 0usize).unwrap(), 512);
+        assert_eq!(a.get_or("probes", 64usize).unwrap(), 64);
+        assert!(a.get_or::<usize>("peers", 0).is_ok());
+        let bad = parse("estimate --peers abc");
+        assert!(bad.get_or::<usize>("peers", 0).is_err());
+    }
+
+    #[test]
+    fn flag_before_option() {
+        let a = parse("churn --json --rate 0.1");
+        assert!(a.has_flag("json"));
+        assert_eq!(a.get("rate"), Some("0.1"));
+    }
+
+    #[test]
+    fn rejects_stray_positionals() {
+        assert!(Args::parse(["estimate".into(), "extra".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_key_detection() {
+        let a = parse("estimate --peers 1 --tyop 2");
+        let unknown = a.unknown_keys(&["peers", "probes"]);
+        assert_eq!(unknown, vec!["tyop"]);
+    }
+}

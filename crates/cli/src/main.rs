@@ -1,0 +1,59 @@
+//! `ring-dde` — command-line playground for the ring-DDE library.
+//!
+//! ```text
+//! ring-dde estimate  [--peers P] [--items N] [--dist D] [--probes K]
+//!                    [--buckets B] [--seed S] [--placement range|hashed]
+//!                    [--method df-dde|exact|uniform-peer|gossip] [--json]
+//! ring-dde aggregate [--peers P] [--items N] [--dist D] [--probes K] [--seed S]
+//! ring-dde query     [--peers P] [--items N] [--dist D] [--lo X] [--hi Y] [--seed S]
+//! ring-dde churn     [--peers P] [--items N] [--rate R] [--duration T]
+//!                    [--replication REPL] [--seed S]
+//! ring-dde topology  [--peers P] [--items N] [--dist D] [--seed S]
+//! ```
+//!
+//! Distributions: uniform, normal, exponential, pareto, zipf, bimodal,
+//! trimodal, lognormal.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let Some(command) = parsed.command.clone() else {
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    };
+    // Typo guard: warn about options no command reads.
+    const KNOWN: &[&str] = &[
+        "peers", "items", "dist", "seed", "probes", "buckets", "placement", "method", "json",
+        "lo", "hi", "rate", "duration", "replication",
+    ];
+    for key in parsed.unknown_keys(KNOWN) {
+        eprintln!("warning: ignoring unknown option --{key}");
+    }
+    let result = match command.as_str() {
+        "estimate" => commands::estimate(&parsed),
+        "aggregate" => commands::aggregate(&parsed),
+        "query" => commands::query(&parsed),
+        "churn" => commands::churn(&parsed),
+        "topology" => commands::topology(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

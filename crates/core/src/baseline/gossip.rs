@@ -1,0 +1,224 @@
+//! Push-Sum gossip aggregation (Kempe, Dobra & Gehrke, FOCS 2003) over
+//! histograms.
+//!
+//! Every peer starts with `(value = its local histogram, weight = 1)`. Each
+//! synchronous round, every peer splits its pair in half, keeps one half, and
+//! sends the other to a random overlay neighbor. The ratio `value/weight`
+//! converges exponentially to the global average histogram at **every** peer
+//! — i.e. to the exact global distribution — but a single estimate costs
+//! `rounds × P` messages, each carrying a histogram. This is the
+//! "aggregate everything" end of the cost spectrum the paper's probing
+//! estimator is positioned against.
+
+use crate::estimate::DensityEstimate;
+use crate::estimator::{with_cost, DensityEstimator, EstimateError, EstimationReport};
+use dde_ring::{MessageKind, Network, RingId};
+use dde_stats::{CdfFn, Histogram, PiecewiseCdf};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration for [`GossipAggregation`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Synchronous gossip rounds. Push-Sum's relative error decays like
+    /// `e^(-Θ(rounds))`; `2·log2(P) + 10` is comfortably converged.
+    pub rounds: usize,
+    /// Histogram bins gossiped.
+    pub bins: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self { rounds: 30, bins: 64 }
+    }
+}
+
+/// Push-Sum gossip estimator (see module docs).
+#[derive(Debug, Clone)]
+pub struct GossipAggregation {
+    config: GossipConfig,
+}
+
+impl GossipAggregation {
+    /// Creates the estimator.
+    pub fn new(config: GossipConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.config
+    }
+}
+
+impl DensityEstimator for GossipAggregation {
+    fn name(&self) -> &'static str {
+        "gossip"
+    }
+
+    fn estimate(
+        &self,
+        net: &mut Network,
+        initiator: RingId,
+        rng: &mut StdRng,
+    ) -> Result<EstimationReport, EstimateError> {
+        if !net.is_alive(initiator) {
+            return Err(EstimateError::InitiatorDead);
+        }
+        let (lo, hi) = net.placement().domain();
+        let bins = self.config.bins;
+        let rounds = self.config.rounds;
+        let ((hist, weight), cost) = with_cost(net, |net| {
+            // Per-peer Push-Sum state.
+            let ids: Vec<RingId> = net.ids().collect();
+            let mut state: BTreeMap<RingId, (Histogram, f64)> = ids
+                .iter()
+                .map(|&id| {
+                    let node = net.node(id).expect("alive");
+                    let mut h = Histogram::new(lo, hi, bins);
+                    for &x in node.store.values() {
+                        h.add(x, 1.0);
+                    }
+                    // Sum variant of Push-Sum: only the initiator carries
+                    // weight, so value/weight converges to the global *sum*
+                    // (Kempe et al. §2) rather than the average.
+                    (id, (h, f64::from(u8::from(id == initiator))))
+                })
+                .collect();
+            let payload = 8 * bins + 8;
+
+            for _ in 0..rounds {
+                // Synchronous round: everyone halves and pushes.
+                let mut inbox: BTreeMap<RingId, Vec<(Histogram, f64)>> = BTreeMap::new();
+                for &id in &ids {
+                    let (h, w) = state.get_mut(&id).expect("state exists");
+                    h.scale(0.5);
+                    *w *= 0.5;
+                    let out = (h.clone(), *w);
+                    // Random alive neighbor from the peer's routing state.
+                    let node = net.node(id).expect("alive");
+                    let mut nbrs: Vec<RingId> = node
+                        .successors
+                        .iter()
+                        .copied()
+                        .chain(node.fingers.iter().flatten().copied())
+                        .filter(|&n| n != id && net.is_alive(n))
+                        .collect();
+                    // Dedup: finger tables repeat nearby peers many times and
+                    // would skew the push target distribution, slowing mixing.
+                    nbrs.sort();
+                    nbrs.dedup();
+                    if nbrs.is_empty() {
+                        continue;
+                    }
+                    let target = nbrs[rng.gen_range(0..nbrs.len())];
+                    net.stats_mut().record(MessageKind::Gossip, payload);
+                    inbox.entry(target).or_default().push(out);
+                }
+                for (id, deliveries) in inbox {
+                    let (h, w) = state.get_mut(&id).expect("state exists");
+                    for (dh, dw) in deliveries {
+                        h.merge(&dh);
+                        *w += dw;
+                    }
+                }
+            }
+            let (h, w) = state.remove(&initiator).expect("initiator alive");
+            Ok((h, w))
+        })?;
+
+        if weight <= 0.0 || hist.total() <= 0.0 {
+            return Err(EstimateError::NoData);
+        }
+        // value/weight estimates the average histogram; normalizing gives the
+        // global distribution directly.
+        let norm = hist.normalized();
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(bins + 1);
+        points.push((lo, 0.0));
+        for i in 0..bins {
+            let edge = lo + (hi - lo) * (i + 1) as f64 / bins as f64;
+            points.push((edge, norm.cdf(edge)));
+        }
+        let cdf = PiecewiseCdf::from_noisy_points(points)
+            .ok_or(EstimateError::InsufficientProbes { got: 0, need: 2 })?;
+        // N̂ = value_total / weight (Push-Sum's sum estimate at the initiator).
+        let n_hat = hist.total() / weight;
+        Ok(EstimationReport {
+            estimate: DensityEstimate::from_cdf(cdf),
+            cost,
+            peers_contacted: 0, // gossip involves everyone; "contacted" n/a
+            estimated_total: Some(n_hat),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dde_ring::Placement;
+    use dde_stats::dist::DistributionKind;
+    use dde_stats::rng::{Component, SeedSequence};
+    use rand::SeedableRng;
+
+    fn build_net(peers: usize, items: usize, kind: &DistributionKind, seed: u64) -> Network {
+        let seq = SeedSequence::new(seed);
+        let mut id_rng = seq.stream(Component::NodeIds, 0);
+        let mut ids: Vec<RingId> = (0..peers).map(|_| RingId(id_rng.gen())).collect();
+        ids.sort();
+        ids.dedup();
+        let mut net = Network::build(ids, Placement::range(0.0, 100.0));
+        let dist = kind.build(0.0, 100.0);
+        let mut data_rng = seq.stream(Component::Dataset, 0);
+        let data: Vec<f64> = (0..items).map(|_| dist.sample(&mut data_rng)).collect();
+        net.bulk_load(&data);
+        net
+    }
+
+    #[test]
+    fn converges_to_global_distribution() {
+        let kind = DistributionKind::Bimodal;
+        let mut net = build_net(96, 30_000, &kind, 12);
+        let truth = kind.build(0.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let est = GossipAggregation::new(GossipConfig::default())
+            .estimate(&mut net, initiator, &mut rng)
+            .unwrap();
+        let ks = est.estimate.ks_to(truth.as_ref());
+        assert!(ks < 0.05, "gossip ks = {ks}");
+        // Push-Sum also estimates the global count.
+        let n_hat = est.estimated_total.unwrap();
+        assert!((n_hat - 30_000.0).abs() / 30_000.0 < 0.1, "n_hat = {n_hat}");
+    }
+
+    #[test]
+    fn cost_is_rounds_times_peers() {
+        let mut net = build_net(64, 1_000, &DistributionKind::Uniform, 13);
+        let mut rng = StdRng::seed_from_u64(6);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let cfg = GossipConfig { rounds: 10, bins: 32 };
+        let est = GossipAggregation::new(cfg).estimate(&mut net, initiator, &mut rng).unwrap();
+        assert_eq!(est.cost.count(MessageKind::Gossip), 10 * 64);
+        // Orders of magnitude more than a probing estimator would use.
+        assert!(est.messages() >= 640);
+    }
+
+    #[test]
+    fn more_rounds_means_better_estimate() {
+        let kind = DistributionKind::Exponential { rate_scale: 8.0 };
+        let truth = kind.build(0.0, 100.0);
+        let mut ks = Vec::new();
+        for rounds in [2usize, 40] {
+            let mut net = build_net(64, 10_000, &kind, 14);
+            let mut rng = StdRng::seed_from_u64(7);
+            let initiator = net.random_peer(&mut rng).unwrap();
+            let est = GossipAggregation::new(GossipConfig { rounds, bins: 64 })
+                .estimate(&mut net, initiator, &mut rng)
+                .unwrap();
+            ks.push(est.estimate.ks_to(truth.as_ref()));
+        }
+        assert!(ks[1] < ks[0], "40 rounds ({}) should beat 2 ({})", ks[1], ks[0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Metropolis–Hastings random-walk peer sampling.
+//!
+//! The decentralized way to sample peers ≈uniformly without knowing the
+//! membership: walk the overlay graph, correcting for degree with the
+//! Metropolis filter (propose a uniform neighbor, accept with probability
+//! `min(1, deg(cur)/deg(next))`). After a burn-in the walk's position is
+//! near-uniform over peers; spacing samples by a gap decorrelates them.
+//!
+//! Pooling then has the same choices (and the same equal-weight bias) as
+//! [`super::uniform_peer`]; what changes is the *cost*: every step is a
+//! message, so `k` samples cost `burn_in + k·gap` walk steps plus the reply
+//! traffic.
+
+use crate::baseline::{pool_replies, PoolWeighting};
+use crate::estimate::DensityEstimate;
+use crate::estimator::{with_cost, DensityEstimator, EstimateError, EstimationReport};
+use dde_ring::{MessageKind, Network, ProbeReply, RingId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`RandomWalkSampling`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalkConfig {
+    /// Number of peer samples (`k`).
+    pub peers: usize,
+    /// Steps discarded before the first sample.
+    pub burn_in: usize,
+    /// Steps between consecutive samples.
+    pub gap: usize,
+    /// How replies are pooled.
+    pub weighting: PoolWeighting,
+    /// Cap on support points.
+    pub support_cap: usize,
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        Self { peers: 64, burn_in: 32, gap: 8, weighting: PoolWeighting::Equal, support_cap: 4096 }
+    }
+}
+
+/// Random-walk peer-sampling estimator (see module docs).
+#[derive(Debug, Clone)]
+pub struct RandomWalkSampling {
+    config: RandomWalkConfig,
+}
+
+impl RandomWalkSampling {
+    /// Creates the estimator.
+    pub fn new(config: RandomWalkConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RandomWalkConfig {
+        &self.config
+    }
+
+    /// Distinct alive neighbors of `id` in the overlay graph.
+    fn neighbors(net: &Network, id: RingId) -> Vec<RingId> {
+        let Some(node) = net.node(id) else { return Vec::new() };
+        let mut nbrs: Vec<RingId> = node
+            .successors
+            .iter()
+            .copied()
+            .chain(node.fingers.iter().flatten().copied())
+            .chain(node.predecessor)
+            .filter(|&n| n != id && net.is_alive(n))
+            .collect();
+        nbrs.sort();
+        nbrs.dedup();
+        nbrs
+    }
+
+    /// One Metropolis–Hastings step; returns the (possibly unchanged)
+    /// position. Charges one walk-step message when the walk moves and one
+    /// probe-sized exchange for the degree query either way.
+    fn mh_step(net: &mut Network, cur: RingId, rng: &mut StdRng) -> RingId {
+        let nbrs = Self::neighbors(net, cur);
+        if nbrs.is_empty() {
+            return cur;
+        }
+        let proposed = nbrs[rng.gen_range(0..nbrs.len())];
+        let deg_cur = nbrs.len() as f64;
+        let deg_prop = Self::neighbors(net, proposed).len().max(1) as f64;
+        // Degree query at the proposed peer: one request + one reply.
+        net.stats_mut().record(MessageKind::WalkStep, 8);
+        net.stats_mut().record(MessageKind::WalkStep, 8);
+        if rng.gen::<f64>() < (deg_cur / deg_prop).min(1.0) {
+            proposed
+        } else {
+            cur
+        }
+    }
+}
+
+impl DensityEstimator for RandomWalkSampling {
+    fn name(&self) -> &'static str {
+        match self.config.weighting {
+            PoolWeighting::Equal => "random-walk",
+            PoolWeighting::CountWeighted => "random-walk-cw",
+        }
+    }
+
+    fn estimate(
+        &self,
+        net: &mut Network,
+        initiator: RingId,
+        rng: &mut StdRng,
+    ) -> Result<EstimationReport, EstimateError> {
+        if !net.is_alive(initiator) {
+            return Err(EstimateError::InitiatorDead);
+        }
+        let domain = net.placement().domain();
+        let cfg = self.config;
+        let (replies, cost) = with_cost(net, |net| {
+            let mut cur = initiator;
+            for _ in 0..cfg.burn_in {
+                cur = Self::mh_step(net, cur, rng);
+            }
+            let mut replies: Vec<ProbeReply> = Vec::with_capacity(cfg.peers);
+            for _ in 0..cfg.peers {
+                // Sample the current position, then decorrelate.
+                let node = net.node(cur).expect("walk stays on alive peers");
+                let summary = node.store.summary(net.summary_buckets());
+                let reply = ProbeReply {
+                    peer: cur,
+                    predecessor: node.predecessor,
+                    count: node.store.len() as u64,
+                    sum: node.store.sum(),
+                    sum_sq: node.store.sum_sq(),
+                    summary,
+                    hops: 0,
+                };
+                net.stats_mut().record(MessageKind::Probe, 8);
+                net.stats_mut()
+                    .record(MessageKind::ProbeReply, 24 + reply.summary.wire_size());
+                replies.push(reply);
+                for _ in 0..cfg.gap {
+                    cur = Self::mh_step(net, cur, rng);
+                }
+            }
+            Ok(replies)
+        })?;
+
+        let contacted = replies.len();
+        let cdf = pool_replies(&replies, domain, cfg.support_cap, cfg.weighting)
+            .ok_or(EstimateError::InsufficientProbes { got: contacted, need: cfg.peers })?;
+        Ok(EstimationReport {
+            estimate: DensityEstimate::from_cdf(cdf),
+            cost,
+            peers_contacted: contacted,
+            estimated_total: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dde_ring::Placement;
+    use dde_stats::dist::DistributionKind;
+    use dde_stats::rng::{Component, SeedSequence};
+    use rand::SeedableRng;
+
+    fn build_net(peers: usize, items: usize, kind: &DistributionKind, seed: u64) -> Network {
+        let seq = SeedSequence::new(seed);
+        let mut id_rng = seq.stream(Component::NodeIds, 0);
+        let mut ids: Vec<RingId> = (0..peers).map(|_| RingId(id_rng.gen())).collect();
+        ids.sort();
+        ids.dedup();
+        let mut net = Network::build(ids, Placement::range(0.0, 100.0));
+        let dist = kind.build(0.0, 100.0);
+        let mut data_rng = seq.stream(Component::Dataset, 0);
+        let data: Vec<f64> = (0..items).map(|_| dist.sample(&mut data_rng)).collect();
+        net.bulk_load(&data);
+        net
+    }
+
+    #[test]
+    fn walk_visits_many_distinct_peers() {
+        let mut net = build_net(128, 1_000, &DistributionKind::Uniform, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let mut cur = initiator;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            cur = RandomWalkSampling::mh_step(&mut net, cur, &mut rng);
+            seen.insert(cur);
+        }
+        assert!(seen.len() > 60, "walk only reached {} peers", seen.len());
+    }
+
+    #[test]
+    fn walk_distribution_is_roughly_uniform() {
+        // Chi-square-ish check: visit counts after mixing shouldn't be wildly
+        // unequal (MH corrects finger-degree differences).
+        let mut net = build_net(32, 100, &DistributionKind::Uniform, 9);
+        let mut rng = StdRng::seed_from_u64(2);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let mut cur = initiator;
+        for _ in 0..100 {
+            cur = RandomWalkSampling::mh_step(&mut net, cur, &mut rng);
+        }
+        let mut visits: std::collections::BTreeMap<RingId, u32> = Default::default();
+        let total = 6_000;
+        for _ in 0..total {
+            cur = RandomWalkSampling::mh_step(&mut net, cur, &mut rng);
+            *visits.entry(cur).or_insert(0) += 1;
+        }
+        let expected = total as f64 / 32.0;
+        let visited_frac = visits.len() as f64 / 32.0;
+        assert!(visited_frac > 0.95, "only {} of 32 peers visited", visits.len());
+        for (&peer, &v) in &visits {
+            assert!(
+                (v as f64) < 4.0 * expected,
+                "peer {peer} visited {v}× vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_and_charges_walk_cost() {
+        let kind = DistributionKind::Uniform;
+        let mut net = build_net(128, 20_000, &kind, 10);
+        let truth = kind.build(0.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let cfg = RandomWalkConfig { peers: 48, ..RandomWalkConfig::default() };
+        let est = RandomWalkSampling::new(cfg).estimate(&mut net, initiator, &mut rng).unwrap();
+        assert_eq!(est.peers_contacted, 48);
+        assert!(est.estimate.ks_to(truth.as_ref()) < 0.2);
+        // Walk steps dominate the cost: burn_in + k·gap exchanges, 2 msgs each.
+        let steps = (cfg.burn_in + cfg.peers * cfg.gap) as u64;
+        assert_eq!(est.cost.count(MessageKind::WalkStep), 2 * steps);
+    }
+
+    #[test]
+    fn dead_initiator_errors() {
+        let mut net = build_net(16, 100, &DistributionKind::Uniform, 11);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(matches!(
+            RandomWalkSampling::new(RandomWalkConfig::default()).estimate(
+                &mut net,
+                RingId(77),
+                &mut rng
+            ),
+            Err(EstimateError::InitiatorDead)
+        ));
+    }
+}

@@ -1,0 +1,392 @@
+//! The paper's estimator: **D**istribution-**F**ree **D**ata **D**ensity
+//! **E**stimation.
+//!
+//! Phase 1 probes `k` uniform random ring positions and assembles the replies
+//! into a [`CdfSkeleton`] (Horvitz–Thompson-corrected global CDF). Phase 2
+//! optionally generates samples by the inversion method — locally from the
+//! skeleton, or by fetching real tuples from the peers owning the sampled
+//! quantiles. Cost: `k · O(log P)` messages for Phase 1, plus `m · O(log P)`
+//! for remote Phase 2.
+
+use crate::estimate::DensityEstimate;
+use crate::estimator::{with_cost, DensityEstimator, EstimateError, EstimationReport};
+use crate::skeleton::{CdfSkeleton, Weighting};
+use dde_ring::{Network, ProbeReply, RingId};
+use dde_stats::CdfFn as _;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How Phase-1 probe positions are drawn on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeStrategy {
+    /// One uniform position per equal ring stratum (`uⱼ ∈ [j/k, (j+1)/k)`).
+    ///
+    /// Still unbiased under Horvitz–Thompson (each position is uniform
+    /// within its stratum and the strata tile the ring), but with far lower
+    /// variance: spatially clustered mass — the hotspot peers skewed data
+    /// creates — is covered *systematically* instead of by luck. This is the
+    /// natural reading of the paper's "sampling the global cumulative
+    /// distribution function".
+    Stratified,
+    /// Independent uniform positions (the textbook estimator; ablation).
+    IidUniform,
+}
+
+/// Phase-2 sampling behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SampleMode {
+    /// No Phase 2: read density straight off the skeleton (zero extra cost).
+    SkeletonOnly,
+    /// Fetch `m` real tuples by routing to the peers owning the sampled
+    /// quantiles (`m · O(log P)` extra messages).
+    RemoteTuples {
+        /// Number of tuples to fetch.
+        m: usize,
+    },
+}
+
+/// Configuration for [`DfDde`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DfDdeConfig {
+    /// Number of ring-position probes (`k`).
+    pub probes: usize,
+    /// Probe-position strategy.
+    pub strategy: ProbeStrategy,
+    /// Phase-2 behaviour.
+    pub sample_mode: SampleMode,
+    /// Horvitz–Thompson on (the method) or off (T3 ablation).
+    pub weighting: Weighting,
+    /// Additional probe attempts tolerated on routing failures before giving
+    /// up (churn can break individual probes).
+    pub max_retries: usize,
+    /// Cap on skeleton support points.
+    pub support_cap: usize,
+}
+
+impl Default for DfDdeConfig {
+    fn default() -> Self {
+        Self {
+            probes: 64,
+            strategy: ProbeStrategy::Stratified,
+            sample_mode: SampleMode::SkeletonOnly,
+            weighting: Weighting::HorvitzThompson,
+            max_retries: 16,
+            support_cap: 4096,
+        }
+    }
+}
+
+impl DfDdeConfig {
+    /// Convenience: default config with `k` probes.
+    pub fn with_probes(probes: usize) -> Self {
+        Self { probes, ..Self::default() }
+    }
+}
+
+/// The distribution-free density estimator (see module docs).
+#[derive(Debug, Clone)]
+pub struct DfDde {
+    config: DfDdeConfig,
+}
+
+impl DfDde {
+    /// Creates the estimator with the given configuration.
+    pub fn new(config: DfDdeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DfDdeConfig {
+        &self.config
+    }
+
+    /// Phase 1 alone: run the probes and return the raw replies (exposed for
+    /// the continuous estimator, which manages its own probe window).
+    pub fn run_probes(
+        &self,
+        net: &mut Network,
+        initiator: RingId,
+        rng: &mut StdRng,
+    ) -> Result<Vec<ProbeReply>, EstimateError> {
+        let k = self.config.probes;
+        let mut replies = Vec::with_capacity(k);
+        let mut failures = 0usize;
+        // Stratum width for systematic probing (k strata tile the ring).
+        let stratum = (u128::from(u64::MAX) + 1) / k.max(1) as u128;
+        while replies.len() < k {
+            let j = replies.len() + failures; // retries fall into later strata
+            let point = match self.config.strategy {
+                ProbeStrategy::IidUniform => RingId(rng.gen()),
+                ProbeStrategy::Stratified => {
+                    let offset = rng.gen::<u64>() as u128 % stratum;
+                    RingId(((j as u128 % k as u128) * stratum + offset) as u64)
+                }
+            };
+            match net.probe(initiator, point) {
+                Ok(reply) => replies.push(reply),
+                Err(dde_ring::LookupError::InitiatorDead) => {
+                    return Err(EstimateError::InitiatorDead)
+                }
+                Err(_) => {
+                    failures += 1;
+                    if failures > self.config.max_retries {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(replies)
+    }
+
+    /// Builds the skeleton from replies (None-safe wrapper used by both this
+    /// estimator and the continuous one).
+    pub fn build_skeleton(
+        &self,
+        replies: &[ProbeReply],
+        domain: (f64, f64),
+    ) -> Result<CdfSkeleton, EstimateError> {
+        CdfSkeleton::from_probes(replies, domain, self.config.support_cap, self.config.weighting)
+            .ok_or(EstimateError::InsufficientProbes {
+                got: replies.len(),
+                need: 2,
+            })
+    }
+}
+
+impl DensityEstimator for DfDde {
+    fn name(&self) -> &'static str {
+        match self.config.weighting {
+            Weighting::HorvitzThompson => "df-dde",
+            Weighting::Unweighted => "df-dde-unweighted",
+        }
+    }
+
+    fn estimate(
+        &self,
+        net: &mut Network,
+        initiator: RingId,
+        rng: &mut StdRng,
+    ) -> Result<EstimationReport, EstimateError> {
+        let domain = net.placement().domain();
+        let need = self.config.probes;
+        let ((skeleton, samples, contacted), cost) = with_cost(net, |net| {
+            // Phase 1.
+            let replies = self.run_probes(net, initiator, rng)?;
+            if replies.len() < need.min(2) {
+                return Err(EstimateError::InsufficientProbes { got: replies.len(), need });
+            }
+            let skeleton = self.build_skeleton(&replies, domain)?;
+
+            // Phase 2.
+            let mut samples = Vec::new();
+            if let SampleMode::RemoteTuples { m } = self.config.sample_mode {
+                let map = net.placement().domain_map().copied();
+                for i in 0..m {
+                    // Stratified quantile, inverted through the skeleton.
+                    let u = (i as f64 + rng.gen::<f64>()) / m as f64;
+                    let x_hat = skeleton.cdf.inv_cdf(u);
+                    // Route to the peer owning the estimated quantile. Under
+                    // range placement that peer holds data near x̂; under
+                    // hashed placement any peer holds an exchangeable subset,
+                    // so a uniform ring point is equivalent.
+                    let point = match &map {
+                        Some(m) => m.to_ring(x_hat),
+                        None => RingId(rng.gen()),
+                    };
+                    if let Ok((Some(tuple), _)) = net.sample_tuple(initiator, point, rng) {
+                        samples.push(tuple);
+                    }
+                }
+            }
+            let contacted = skeleton.probes_used;
+            Ok((skeleton, samples, contacted))
+        })?;
+
+        Ok(EstimationReport {
+            estimate: DensityEstimate::with_samples(skeleton.cdf, samples),
+            cost,
+            peers_contacted: contacted,
+            estimated_total: Some(skeleton.n_hat),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dde_ring::{MessageKind, Placement};
+    use dde_stats::dist::DistributionKind;
+    use dde_stats::rng::{Component, SeedSequence};
+    use rand::SeedableRng;
+
+    fn build_net(peers: usize, items: usize, kind: &DistributionKind, seed: u64) -> Network {
+        let seq = SeedSequence::new(seed);
+        let mut id_rng = seq.stream(Component::NodeIds, 0);
+        let mut ids: Vec<RingId> = (0..peers).map(|_| RingId(id_rng.gen())).collect();
+        ids.sort();
+        ids.dedup();
+        let mut net = Network::build(ids, Placement::range(0.0, 100.0));
+        let dist = kind.build(0.0, 100.0);
+        let mut data_rng = seq.stream(Component::Dataset, 0);
+        let data: Vec<f64> = (0..items).map(|_| dist.sample(&mut data_rng)).collect();
+        net.bulk_load(&data);
+        net
+    }
+
+    #[test]
+    fn recovers_skewed_distribution() {
+        let kind = DistributionKind::Zipf { cells: 32, exponent: 1.1 };
+        let mut net = build_net(256, 50_000, &kind, 1);
+        let truth = kind.build(0.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let est = DfDde::new(DfDdeConfig::with_probes(128))
+            .estimate(&mut net, initiator, &mut rng)
+            .unwrap();
+        let ks = est.estimate.ks_to(truth.as_ref());
+        assert!(ks < 0.1, "ks = {ks}");
+        let n_hat = est.estimated_total.unwrap();
+        assert!((n_hat - 50_000.0).abs() / 50_000.0 < 0.25, "n_hat = {n_hat}");
+    }
+
+    /// Builds a **load-balanced** ring: node ids placed at the data's
+    /// quantiles (each peer holds ~equal item counts), the steady state of
+    /// range-partitioned systems with load balancing (Mercury, P-Ring).
+    /// There, arc length anti-correlates with data density, which is exactly
+    /// the regime where dropping the Horvitz–Thompson correction is
+    /// structurally biased.
+    fn build_load_balanced_net(
+        peers: usize,
+        items: usize,
+        kind: &DistributionKind,
+        seed: u64,
+    ) -> Network {
+        let seq = SeedSequence::new(seed);
+        let dist = kind.build(0.0, 100.0);
+        let mut data_rng = seq.stream(Component::Dataset, 0);
+        let data: Vec<f64> = (0..items).map(|_| dist.sample(&mut data_rng)).collect();
+        let placement = Placement::range(0.0, 100.0);
+        let map = *placement.domain_map().unwrap();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut ids: Vec<RingId> = (1..=peers)
+            .map(|i| {
+                let q = sorted[(i * items / peers).min(items - 1)];
+                map.to_ring(q)
+            })
+            .collect();
+        ids.sort();
+        ids.dedup();
+        let mut net = Network::build(ids, placement);
+        net.bulk_load(&data);
+        net
+    }
+
+    #[test]
+    fn ht_beats_unweighted_on_load_balanced_ring() {
+        let kind = DistributionKind::Zipf { cells: 32, exponent: 1.1 };
+        let truth = kind.build(0.0, 100.0);
+        let mut ks_ht = 0.0;
+        let mut ks_raw = 0.0;
+        let runs = 4;
+        for seed in 0..runs {
+            let mut net = build_load_balanced_net(192, 30_000, &kind, 100 + seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let initiator = net.random_peer(&mut rng).unwrap();
+            let mut cfg = DfDdeConfig::with_probes(96);
+            let est_ht =
+                DfDde::new(cfg).estimate(&mut net, initiator, &mut rng.clone()).unwrap();
+            cfg.weighting = Weighting::Unweighted;
+            let est_raw = DfDde::new(cfg).estimate(&mut net, initiator, &mut rng).unwrap();
+            ks_ht += est_ht.estimate.ks_to(truth.as_ref()) / runs as f64;
+            ks_raw += est_raw.estimate.ks_to(truth.as_ref()) / runs as f64;
+        }
+        assert!(
+            ks_ht < 0.6 * ks_raw,
+            "HT should clearly beat unweighted on a load-balanced ring: {ks_ht} vs {ks_raw}"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_probes() {
+        let kind = DistributionKind::Uniform;
+        let mut net = build_net(512, 10_000, &kind, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let small = DfDde::new(DfDdeConfig::with_probes(16))
+            .estimate(&mut net, initiator, &mut rng)
+            .unwrap();
+        let large = DfDde::new(DfDdeConfig::with_probes(128))
+            .estimate(&mut net, initiator, &mut rng)
+            .unwrap();
+        assert_eq!(small.cost.count(MessageKind::Probe), 16);
+        assert_eq!(large.cost.count(MessageKind::Probe), 128);
+        assert!(large.messages() > 4 * small.messages());
+        // Probes cost O(log P) each, not O(P).
+        assert!(
+            large.messages() < 128 * 40,
+            "messages = {} for 128 probes",
+            large.messages()
+        );
+    }
+
+    #[test]
+    fn remote_tuples_are_real_data() {
+        let kind = DistributionKind::Normal { center_frac: 0.5, std_frac: 0.12 };
+        let mut net = build_net(128, 20_000, &kind, 7);
+        let all: std::collections::BTreeSet<u64> =
+            net.global_values().iter().map(|v| v.to_bits()).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let cfg = DfDdeConfig {
+            sample_mode: SampleMode::RemoteTuples { m: 200 },
+            ..DfDdeConfig::with_probes(64)
+        };
+        let est = DfDde::new(cfg).estimate(&mut net, initiator, &mut rng).unwrap();
+        let samples = est.estimate.samples();
+        assert!(samples.len() > 150, "only {} tuples fetched", samples.len());
+        for s in samples {
+            assert!(all.contains(&s.to_bits()), "sample {s} is not a stored tuple");
+        }
+        // And they follow the true distribution.
+        let truth = kind.build(0.0, 100.0);
+        let ks = dde_stats::Ecdf::new(samples.to_vec()).ks_distance_to(truth.as_ref());
+        assert!(ks < 0.2, "remote-tuple ks = {ks}");
+    }
+
+    #[test]
+    fn insufficient_probes_error() {
+        let kind = DistributionKind::Uniform;
+        let mut net = build_net(4, 100, &kind, 11);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = DfDde::new(DfDdeConfig::with_probes(8));
+        assert!(matches!(
+            est.estimate(&mut net, RingId(424242), &mut rng),
+            Err(EstimateError::InitiatorDead)
+        ));
+    }
+
+    #[test]
+    fn works_under_hashed_placement() {
+        // Hashed placement: every peer holds an exchangeable subset; the
+        // estimator must still recover the distribution.
+        let seq = SeedSequence::new(21);
+        let mut id_rng = seq.stream(Component::NodeIds, 0);
+        let ids: Vec<RingId> = (0..128).map(|_| RingId(id_rng.gen())).collect();
+        let mut net = Network::build(ids, Placement::hashed(0.0, 100.0));
+        let kind = DistributionKind::Exponential { rate_scale: 8.0 };
+        let dist = kind.build(0.0, 100.0);
+        let mut data_rng = seq.stream(Component::Dataset, 0);
+        let data: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut data_rng)).collect();
+        net.bulk_load(&data);
+
+        let mut rng = StdRng::seed_from_u64(2);
+        let initiator = net.random_peer(&mut rng).unwrap();
+        let est = DfDde::new(DfDdeConfig::with_probes(64))
+            .estimate(&mut net, initiator, &mut rng)
+            .unwrap();
+        let ks = est.estimate.ks_to(dist.as_ref());
+        assert!(ks < 0.1, "hashed-placement ks = {ks}");
+    }
+}

@@ -1,0 +1,118 @@
+//! The estimator interface and its report type.
+
+use crate::estimate::DensityEstimate;
+use dde_ring::{LookupError, MessageStats, Network, RingId};
+use rand::rngs::StdRng;
+
+/// Why an estimation run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// Too few probes succeeded to build a skeleton.
+    InsufficientProbes {
+        /// Probes that succeeded.
+        got: usize,
+        /// Probes required.
+        need: usize,
+    },
+    /// The initiating peer is gone.
+    InitiatorDead,
+    /// The network holds no data at all.
+    NoData,
+    /// An unrecoverable routing failure.
+    Routing(LookupError),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::InsufficientProbes { got, need } => {
+                write!(f, "only {got}/{need} probes succeeded")
+            }
+            EstimateError::InitiatorDead => write!(f, "initiating peer departed"),
+            EstimateError::NoData => write!(f, "network holds no data"),
+            EstimateError::Routing(e) => write!(f, "routing failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+impl From<LookupError> for EstimateError {
+    fn from(e: LookupError) -> Self {
+        match e {
+            LookupError::InitiatorDead => EstimateError::InitiatorDead,
+            other => EstimateError::Routing(other),
+        }
+    }
+}
+
+/// The outcome of one estimation run: the estimate plus exactly what it cost.
+#[derive(Debug, Clone)]
+pub struct EstimationReport {
+    /// The density/CDF estimate.
+    pub estimate: DensityEstimate,
+    /// Message/hop cost of this run only (delta of the network counters).
+    pub cost: MessageStats,
+    /// Peers successfully probed / visited / walked to.
+    pub peers_contacted: usize,
+    /// Estimated global item count (`N̂`), when the method produces one.
+    pub estimated_total: Option<f64>,
+}
+
+impl EstimationReport {
+    /// Total messages this run sent.
+    pub fn messages(&self) -> u64 {
+        self.cost.total_messages()
+    }
+
+    /// Total bytes this run moved.
+    pub fn bytes(&self) -> u64 {
+        self.cost.total_bytes()
+    }
+}
+
+/// A global-density estimation strategy runnable against a network.
+///
+/// Implementations must charge **all** their traffic to the network's
+/// [`MessageStats`]; the driver snapshots the counters around the call to
+/// attribute cost.
+pub trait DensityEstimator {
+    /// Short name used in experiment tables (e.g. `"df-dde"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs one estimation from `initiator` against `net`.
+    fn estimate(
+        &self,
+        net: &mut Network,
+        initiator: RingId,
+        rng: &mut StdRng,
+    ) -> Result<EstimationReport, EstimateError>;
+}
+
+/// Snapshots the network's counters, runs `f`, and returns `(result, delta)`.
+///
+/// Shared plumbing for all estimator implementations.
+pub(crate) fn with_cost<T>(
+    net: &mut Network,
+    f: impl FnOnce(&mut Network) -> Result<T, EstimateError>,
+) -> Result<(T, MessageStats), EstimateError> {
+    let before = net.stats().clone();
+    let out = f(net)?;
+    let delta = net.stats().since(&before);
+    Ok((out, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = EstimateError::InsufficientProbes { got: 3, need: 8 };
+        assert_eq!(e.to_string(), "only 3/8 probes succeeded");
+        let e: EstimateError = LookupError::InitiatorDead.into();
+        assert_eq!(e, EstimateError::InitiatorDead);
+        let e: EstimateError = LookupError::NoRoute.into();
+        assert!(matches!(e, EstimateError::Routing(LookupError::NoRoute)));
+    }
+}

@@ -1,0 +1,262 @@
+//! Poisson churn: joins, graceful leaves, and crash failures over time.
+//!
+//! Rates are *per peer per time unit*, the convention P2P measurement papers
+//! use (e.g. "0.1 churn" = each peer has a 10% chance of departing per unit
+//! time). Event times are exponential interarrivals; stabilization runs at a
+//! fixed period interleaved with the events, so routing state is as stale as
+//! the ratio of churn rate to stabilization rate makes it.
+
+use crate::id::RingId;
+use crate::network::Network;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Churn rates, per alive peer per time unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Join rate (new peers per alive peer per time unit).
+    pub join_rate: f64,
+    /// Graceful-leave rate.
+    pub leave_rate: f64,
+    /// Crash-failure rate.
+    pub fail_rate: f64,
+    /// Stabilization period (time units between rounds).
+    pub stabilize_period: f64,
+}
+
+impl ChurnConfig {
+    /// A symmetric churn level: joins balance departures (half leaves, half
+    /// crashes), keeping the expected network size constant.
+    pub fn symmetric(rate: f64, stabilize_period: f64) -> Self {
+        Self {
+            join_rate: rate,
+            leave_rate: rate / 2.0,
+            fail_rate: rate / 2.0,
+            stabilize_period,
+        }
+    }
+
+    /// No churn at all.
+    pub fn none() -> Self {
+        Self { join_rate: 0.0, leave_rate: 0.0, fail_rate: 0.0, stabilize_period: 1.0 }
+    }
+
+    fn total_rate(&self) -> f64 {
+        self.join_rate + self.leave_rate + self.fail_rate
+    }
+}
+
+/// Counts of what a churn run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnOutcome {
+    /// Successful joins.
+    pub joins: u64,
+    /// Graceful leaves.
+    pub leaves: u64,
+    /// Crash failures.
+    pub fails: u64,
+    /// Stabilization rounds run.
+    pub stabilize_rounds: u64,
+    /// Events skipped because the network was about to empty out.
+    pub skipped: u64,
+}
+
+/// A resumable churn process.
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    config: ChurnConfig,
+    /// Simulation clock.
+    now: f64,
+    /// Next stabilization time.
+    next_stabilize: f64,
+}
+
+impl ChurnProcess {
+    /// Creates a process with the given rates, starting at time 0.
+    pub fn new(config: ChurnConfig) -> Self {
+        Self { config, now: 0.0, next_stabilize: config.stabilize_period }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the simulation by `duration` time units, applying churn
+    /// events and periodic stabilization to `net`.
+    ///
+    /// The network is never allowed to drop below 2 peers (departure events
+    /// that would do so are skipped and counted).
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        duration: f64,
+        rng: &mut R,
+    ) -> ChurnOutcome {
+        let mut outcome = ChurnOutcome::default();
+        let end = self.now + duration;
+        loop {
+            let rate = self.config.total_rate() * net.len() as f64;
+            let next_event = if rate > 0.0 {
+                self.now + exponential(rng, rate)
+            } else {
+                f64::INFINITY
+            };
+            // Interleave stabilization ticks in timestamp order.
+            while self.next_stabilize <= next_event.min(end) {
+                net.stabilize_round();
+                outcome.stabilize_rounds += 1;
+                self.next_stabilize += self.config.stabilize_period;
+            }
+            if next_event > end {
+                self.now = end;
+                return outcome;
+            }
+            self.now = next_event;
+            self.apply_one(net, rng, &mut outcome);
+        }
+    }
+
+    /// Applies exactly `n` churn events (no clock, no stabilization) — for
+    /// tests that want precise control.
+    pub fn apply_events<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        n: usize,
+        rng: &mut R,
+    ) -> ChurnOutcome {
+        let mut outcome = ChurnOutcome::default();
+        for _ in 0..n {
+            self.apply_one(net, rng, &mut outcome);
+        }
+        outcome
+    }
+
+    fn apply_one<R: Rng + ?Sized>(
+        &mut self,
+        net: &mut Network,
+        rng: &mut R,
+        outcome: &mut ChurnOutcome,
+    ) {
+        let total = self.config.total_rate();
+        if total <= 0.0 || net.is_empty() {
+            outcome.skipped += 1;
+            return;
+        }
+        let u: f64 = rng.gen::<f64>() * total;
+        if u < self.config.join_rate {
+            let new_id = RingId(rng.gen());
+            let Some(bootstrap) = net.random_peer(rng) else {
+                outcome.skipped += 1;
+                return;
+            };
+            if net.join(new_id, bootstrap).is_ok() {
+                outcome.joins += 1;
+            } else {
+                outcome.skipped += 1;
+            }
+        } else {
+            if net.len() <= 2 {
+                outcome.skipped += 1;
+                return;
+            }
+            let Some(victim) = net.random_peer(rng) else {
+                outcome.skipped += 1;
+                return;
+            };
+            if u < self.config.join_rate + self.config.leave_rate {
+                if net.leave(victim).is_ok() {
+                    outcome.leaves += 1;
+                }
+            } else if net.fail(victim).is_ok() {
+                outcome.fails += 1;
+            }
+        }
+    }
+}
+
+/// An exponential interarrival with the given rate.
+fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net_of_n(n: u64) -> Network {
+        let ids = (1..=n).map(|i| RingId(i * (u64::MAX / (n + 1)))).collect();
+        Network::build(ids, Placement::range(0.0, 100.0))
+    }
+
+    #[test]
+    fn symmetric_churn_keeps_size_roughly_constant() {
+        let mut net = net_of_n(64);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut churn = ChurnProcess::new(ChurnConfig::symmetric(0.1, 1.0));
+        let outcome = churn.run(&mut net, 20.0, &mut rng);
+        assert!(outcome.joins + outcome.leaves + outcome.fails > 50, "{outcome:?}");
+        assert!(outcome.stabilize_rounds >= 19, "{outcome:?}");
+        assert!((32..=110).contains(&net.len()), "size drifted to {}", net.len());
+    }
+
+    #[test]
+    fn churn_then_stabilize_restores_ring() {
+        let mut net = net_of_n(48);
+        net.bulk_load(&(0..500).map(|i| i as f64 / 5.0).collect::<Vec<_>>());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut churn = ChurnProcess::new(ChurnConfig::symmetric(0.2, 0.5));
+        churn.run(&mut net, 10.0, &mut rng);
+        for _ in 0..8 {
+            net.stabilize_round();
+        }
+        let violations = net.check_invariants();
+        let ring_only: Vec<&String> = violations.iter().filter(|v| !v.contains("item")).collect();
+        assert!(ring_only.is_empty(), "{ring_only:?}");
+        // Lookups must work after churn + repair.
+        let from = net.random_peer(&mut rng).unwrap();
+        assert!(net.lookup(from, RingId(12345)).is_ok());
+    }
+
+    #[test]
+    fn zero_rates_do_nothing() {
+        let mut net = net_of_n(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut churn = ChurnProcess::new(ChurnConfig::none());
+        let outcome = churn.run(&mut net, 5.0, &mut rng);
+        assert_eq!(outcome.joins + outcome.leaves + outcome.fails, 0);
+        assert_eq!(net.len(), 8);
+        // Clock still advances and stabilization still ticks.
+        assert_eq!(churn.now(), 5.0);
+        assert!(outcome.stabilize_rounds >= 4);
+    }
+
+    #[test]
+    fn never_shrinks_below_two() {
+        let mut net = net_of_n(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = ChurnConfig {
+            join_rate: 0.0,
+            leave_rate: 1.0,
+            fail_rate: 1.0,
+            stabilize_period: 0.5,
+        };
+        let mut churn = ChurnProcess::new(cfg);
+        churn.run(&mut net, 50.0, &mut rng);
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn apply_events_is_exact() {
+        let mut net = net_of_n(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut churn = ChurnProcess::new(ChurnConfig::symmetric(1.0, 1.0));
+        let outcome = churn.apply_events(&mut net, 10, &mut rng);
+        assert_eq!(outcome.joins + outcome.leaves + outcome.fails + outcome.skipped, 10);
+    }
+}

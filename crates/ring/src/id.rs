@@ -1,0 +1,186 @@
+//! Identifier-ring arithmetic on the 2⁶⁴ ring.
+//!
+//! All overlay state is keyed by [`RingId`] positions on a ring of size
+//! 2⁶⁴ with wraparound. A peer with identifier `n` and predecessor `p` is
+//! responsible for the half-open arc `(p, n]` — every arc predicate in the
+//! codebase uses that single convention.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits of the identifier space (and of finger tables).
+pub const RING_BITS: u32 = 64;
+
+/// A position on the 2⁶⁴ identifier ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RingId(pub u64);
+
+impl RingId {
+    /// The clockwise distance from `self` to `other` (0 when equal).
+    pub fn distance_to(self, other: RingId) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// The ring position `2^i` steps clockwise (the start of finger `i`).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `i >= 64`.
+    pub fn finger_start(self, i: u32) -> RingId {
+        debug_assert!(i < RING_BITS);
+        RingId(self.0.wrapping_add(1u64 << i))
+    }
+
+    /// Whether `self` lies in the half-open arc `(from, to]` (wraparound).
+    ///
+    /// When `from == to` the arc is the **entire ring** (the single-node
+    /// convention: that node owns everything).
+    pub fn in_arc(self, from: RingId, to: RingId) -> bool {
+        if from == to {
+            return true;
+        }
+        // x ∈ (from, to]  ⇔  dist(from, x) ∈ (0, dist(from, to)]
+        let d_x = from.distance_to(self);
+        let d_to = from.distance_to(to);
+        d_x != 0 && d_x <= d_to
+    }
+
+    /// Whether `self` lies in the open arc `(from, to)` (wraparound); empty
+    /// when `from == to`... except that, consistent with Chord, `from == to`
+    /// denotes the full ring minus the endpoint (the single-node case for
+    /// closest-preceding scans).
+    pub fn in_open_arc(self, from: RingId, to: RingId) -> bool {
+        if from == to {
+            return self != from;
+        }
+        let d_x = from.distance_to(self);
+        let d_to = from.distance_to(to);
+        d_x != 0 && d_x < d_to
+    }
+
+    /// The fraction of the ring covered by the arc `(from, self]`, in
+    /// `(0, 1]`; `from == self` means the full ring (fraction 1).
+    ///
+    /// This is the **inclusion probability** of a uniform ring-position probe
+    /// landing on the peer owning that arc — the quantity the paper's
+    /// Horvitz–Thompson correction divides by.
+    pub fn arc_fraction_from(self, from: RingId) -> f64 {
+        if from == self {
+            return 1.0;
+        }
+        from.distance_to(self) as f64 / 2f64.powi(64)
+    }
+}
+
+impl std::fmt::Display for RingId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MAX: u64 = u64::MAX;
+
+    #[test]
+    fn distance_wraps() {
+        assert_eq!(RingId(10).distance_to(RingId(15)), 5);
+        assert_eq!(RingId(15).distance_to(RingId(10)), MAX - 4);
+        assert_eq!(RingId(MAX).distance_to(RingId(4)), 5);
+        assert_eq!(RingId(7).distance_to(RingId(7)), 0);
+    }
+
+    #[test]
+    fn in_arc_without_wrap() {
+        let (a, b) = (RingId(10), RingId(20));
+        assert!(!RingId(10).in_arc(a, b)); // from excluded
+        assert!(RingId(11).in_arc(a, b));
+        assert!(RingId(20).in_arc(a, b)); // to included
+        assert!(!RingId(21).in_arc(a, b));
+        assert!(!RingId(5).in_arc(a, b));
+    }
+
+    #[test]
+    fn in_arc_with_wrap() {
+        let (a, b) = (RingId(MAX - 5), RingId(5));
+        assert!(RingId(MAX).in_arc(a, b));
+        assert!(RingId(0).in_arc(a, b));
+        assert!(RingId(5).in_arc(a, b));
+        assert!(!RingId(6).in_arc(a, b));
+        assert!(!RingId(MAX - 5).in_arc(a, b));
+        assert!(!RingId(1000).in_arc(a, b));
+    }
+
+    #[test]
+    fn degenerate_arc_is_full_ring() {
+        let a = RingId(42);
+        assert!(RingId(0).in_arc(a, a));
+        assert!(RingId(42).in_arc(a, a));
+        assert!(RingId(MAX).in_arc(a, a));
+    }
+
+    #[test]
+    fn open_arc_excludes_endpoints() {
+        let (a, b) = (RingId(10), RingId(20));
+        assert!(!RingId(10).in_open_arc(a, b));
+        assert!(!RingId(20).in_open_arc(a, b));
+        assert!(RingId(15).in_open_arc(a, b));
+        // Degenerate open arc: everything except the point itself.
+        assert!(RingId(0).in_open_arc(a, a));
+        assert!(!RingId(10).in_open_arc(a, a));
+    }
+
+    #[test]
+    fn finger_starts() {
+        assert_eq!(RingId(0).finger_start(0), RingId(1));
+        assert_eq!(RingId(0).finger_start(63), RingId(1 << 63));
+        assert_eq!(RingId(MAX).finger_start(0), RingId(0)); // wrap
+    }
+
+    #[test]
+    fn arc_fraction() {
+        let f = RingId(1 << 62).arc_fraction_from(RingId(0));
+        assert!((f - 0.25).abs() < 1e-15);
+        assert_eq!(RingId(9).arc_fraction_from(RingId(9)), 1.0);
+        // Tiny arcs still have positive fraction.
+        assert!(RingId(1).arc_fraction_from(RingId(0)) > 0.0);
+    }
+
+    proptest! {
+        /// Exactly one of three: x == from, x in (from, to], or x in (to, from].
+        #[test]
+        fn arc_trichotomy(x: u64, from: u64, to: u64) {
+            prop_assume!(from != to);
+            let (x, a, b) = (RingId(x), RingId(from), RingId(to));
+            let cases = u8::from(x == a) + u8::from(x.in_arc(a, b)) + u8::from(x.in_arc(b, a));
+            prop_assert_eq!(cases, 1);
+        }
+
+        /// dist(a, b) + dist(b, a) is 0 (equal) or wraps to 0 mod 2^64.
+        #[test]
+        fn distances_complement(a: u64, b: u64) {
+            let (a, b) = (RingId(a), RingId(b));
+            prop_assert_eq!(a.distance_to(b).wrapping_add(b.distance_to(a)), 0u64);
+        }
+
+        /// Arc fractions of the two complementary arcs sum to 1.
+        #[test]
+        fn arc_fractions_complement(a: u64, b: u64) {
+            prop_assume!(a != b);
+            let (a, b) = (RingId(a), RingId(b));
+            let s = b.arc_fraction_from(a) + a.arc_fraction_from(b);
+            prop_assert!((s - 1.0).abs() < 1e-12);
+        }
+
+        /// in_open_arc implies in_arc for non-degenerate arcs.
+        #[test]
+        fn open_implies_half_open(x: u64, from: u64, to: u64) {
+            prop_assume!(from != to);
+            let (x, a, b) = (RingId(x), RingId(from), RingId(to));
+            if x.in_open_arc(a, b) {
+                prop_assert!(x.in_arc(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Message kinds and cost accounting.
+//!
+//! Every simulated remote interaction is charged here. Conventions (stated
+//! once, used everywhere):
+//!
+//! * one *message* = one one-way network transmission (a request and its
+//!   reply are two messages);
+//! * a routing *hop* is one request/reply exchange with an intermediate node
+//!   during a lookup (2 messages);
+//! * payload bytes cover the variable-size parts (summaries, histograms);
+//!   fixed headers are charged [`HEADER_BYTES`] per message.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Fixed per-message overhead charged on top of payloads, in bytes.
+pub const HEADER_BYTES: usize = 48;
+
+/// The kinds of messages the overlay exchanges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A routing step of an iterative lookup (request or reply).
+    LookupHop,
+    /// A routing attempt that timed out on a dead node.
+    LookupTimeout,
+    /// A density-estimation probe request.
+    Probe,
+    /// A probe reply carrying `(arc, count, summary)`.
+    ProbeReply,
+    /// Stabilization traffic (successor/predecessor refresh, finger fix).
+    Stabilize,
+    /// Data handoff during join/leave.
+    Handoff,
+    /// One gossip exchange (Push-Sum).
+    Gossip,
+    /// A random-walk step.
+    WalkStep,
+    /// A remote tuple-sampling request/reply.
+    TupleSample,
+    /// Replica refresh traffic (primary pushing deltas to its successors).
+    Replicate,
+}
+
+/// Aggregate message/byte/hop counters for one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MessageStats {
+    counts: BTreeMap<MessageKind, u64>,
+    bytes: u64,
+    /// Total routing hops across all lookups.
+    hops: u64,
+    /// Number of lookups performed.
+    lookups: u64,
+}
+
+impl MessageStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `kind` with `payload` bytes (header added).
+    pub fn record(&mut self, kind: MessageKind, payload: usize) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+        self.bytes += (HEADER_BYTES + payload) as u64;
+    }
+
+    /// Records the hop count of one completed lookup.
+    pub fn record_lookup(&mut self, hops: u32) {
+        self.lookups += 1;
+        self.hops += u64::from(hops);
+    }
+
+    /// Total messages of `kind`.
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total bytes (payloads + headers).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean hops per lookup, or 0 if no lookups were recorded.
+    pub fn mean_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.lookups as f64
+        }
+    }
+
+    /// Number of lookups recorded.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Difference `self - earlier`, for measuring the cost of one phase.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not a prefix of `self` (i.e.
+    /// counters ran backwards).
+    pub fn since(&self, earlier: &MessageStats) -> MessageStats {
+        let mut counts = BTreeMap::new();
+        for (&k, &v) in &self.counts {
+            let e = earlier.count(k);
+            debug_assert!(v >= e, "counter {k:?} ran backwards");
+            if v > e {
+                counts.insert(k, v - e);
+            }
+        }
+        MessageStats {
+            counts,
+            bytes: self.bytes - earlier.bytes,
+            hops: self.hops - earlier.hops,
+            lookups: self.lookups - earlier.lookups,
+        }
+    }
+
+    /// Per-kind counts, for reports.
+    pub fn breakdown(&self) -> impl Iterator<Item = (MessageKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::Probe, 16);
+        s.record(MessageKind::Probe, 16);
+        s.record(MessageKind::ProbeReply, 256);
+        assert_eq!(s.count(MessageKind::Probe), 2);
+        assert_eq!(s.count(MessageKind::ProbeReply), 1);
+        assert_eq!(s.count(MessageKind::Gossip), 0);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), (3 * HEADER_BYTES + 16 + 16 + 256) as u64);
+    }
+
+    #[test]
+    fn lookup_hops_average() {
+        let mut s = MessageStats::new();
+        s.record_lookup(4);
+        s.record_lookup(8);
+        assert_eq!(s.mean_hops(), 6.0);
+        assert_eq!(s.lookups(), 2);
+        assert_eq!(MessageStats::new().mean_hops(), 0.0);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::Probe, 10);
+        let snapshot = s.clone();
+        s.record(MessageKind::Probe, 10);
+        s.record(MessageKind::Gossip, 100);
+        s.record_lookup(3);
+        let d = s.since(&snapshot);
+        assert_eq!(d.count(MessageKind::Probe), 1);
+        assert_eq!(d.count(MessageKind::Gossip), 1);
+        assert_eq!(d.lookups(), 1);
+        assert_eq!(d.mean_hops(), 3.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = MessageStats::new();
+        s.record(MessageKind::Handoff, 1000);
+        s.reset();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! The simulated overlay network: construction, routing, probing.
+//!
+//! The network holds the ground-truth set of alive peers in a `BTreeMap`
+//! (used for *construction*, *liveness checks*, and *test assertions* only);
+//! **routing decisions use exclusively the per-node routing state**, which
+//! churn can make stale — that is the point of the simulation.
+
+use crate::id::{RingId, RING_BITS};
+use crate::messages::{MessageKind, MessageStats};
+use crate::node::{Node, SUCCESSOR_LIST_LEN};
+use crate::placement::Placement;
+use dde_stats::equidepth::EquiDepthSummary;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Hard hop limit per lookup; exceeding it indicates a broken ring.
+pub const MAX_HOPS: u32 = 512;
+
+/// Result of a successful lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The peer that owns the target ring point (per its believed arc).
+    pub owner: RingId,
+    /// Routing hops taken (0 when the initiator owned the target).
+    pub hops: u32,
+}
+
+/// Why a lookup failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupError {
+    /// The initiating peer is not alive.
+    InitiatorDead,
+    /// Routing state was too broken to make progress.
+    NoRoute,
+    /// The hop limit was exceeded (routing loop / broken ring).
+    HopLimitExceeded,
+    /// The network has no peers at all.
+    EmptyNetwork,
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LookupError::InitiatorDead => write!(f, "initiating peer is not alive"),
+            LookupError::NoRoute => write!(f, "no route to target (routing state exhausted)"),
+            LookupError::HopLimitExceeded => write!(f, "hop limit exceeded"),
+            LookupError::EmptyNetwork => write!(f, "network has no peers"),
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+/// A probe reply: the statistic a probed peer ships back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeReply {
+    /// The probed peer.
+    pub peer: RingId,
+    /// The peer's believed predecessor (defines its arc); `None` for a peer
+    /// that has not completed joining.
+    pub predecessor: Option<RingId>,
+    /// Exact local item count.
+    pub count: u64,
+    /// Sum of the local values (for aggregate queries).
+    pub sum: f64,
+    /// Sum of squares of the local values (for variance estimation).
+    pub sum_sq: f64,
+    /// Equi-depth summary of the local data.
+    pub summary: EquiDepthSummary,
+    /// Routing hops spent reaching the peer.
+    pub hops: u32,
+}
+
+/// The simulated ring overlay.
+#[derive(Debug, Clone)]
+pub struct Network {
+    pub(crate) nodes: BTreeMap<RingId, Node>,
+    pub(crate) placement: Placement,
+    pub(crate) stats: MessageStats,
+    /// Equi-depth buckets peers use in probe replies.
+    pub(crate) summary_buckets: usize,
+    /// Fingers refreshed per node per stabilization round.
+    pub(crate) fingers_per_round: usize,
+    /// Round-robin cursor for finger fixing, per node.
+    pub(crate) finger_cursor: BTreeMap<RingId, u32>,
+    /// Replication factor: copies kept beyond the primary (0 = off).
+    pub(crate) replication: usize,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(placement: Placement) -> Self {
+        Self {
+            nodes: BTreeMap::new(),
+            placement,
+            stats: MessageStats::new(),
+            summary_buckets: 8,
+            fingers_per_round: 4,
+            finger_cursor: BTreeMap::new(),
+            replication: 0,
+        }
+    }
+
+    /// Builds a network of the given peers with **perfect** routing state
+    /// (the steady state Chord stabilization converges to). Construction is
+    /// free of message charges.
+    ///
+    /// # Panics
+    /// Panics if `ids` is empty or contains duplicates.
+    pub fn build(mut ids: Vec<RingId>, placement: Placement) -> Self {
+        assert!(!ids.is_empty(), "cannot build an empty network");
+        ids.sort();
+        ids.dedup();
+        let mut net = Self::new(placement);
+        for &id in &ids {
+            net.nodes.insert(id, Node::new(id));
+        }
+        net.rewire_perfectly();
+        net
+    }
+
+    /// Resets every node's routing state to ground truth (used at build time
+    /// and by tests; **not** by the protocol paths).
+    pub fn rewire_perfectly(&mut self) {
+        let ids: Vec<RingId> = self.nodes.keys().copied().collect();
+        let p = ids.len();
+        for (i, &id) in ids.iter().enumerate() {
+            let pred = ids[(i + p - 1) % p];
+            let succs: Vec<RingId> =
+                (1..=SUCCESSOR_LIST_LEN.min(p - 1).max(1)).map(|k| ids[(i + k) % p]).collect();
+            let mut fingers = vec![None; RING_BITS as usize];
+            for (f, slot) in fingers.iter_mut().enumerate() {
+                *slot = Some(self.true_owner(id.finger_start(f as u32)));
+            }
+            let node = self.nodes.get_mut(&id).expect("listed id");
+            node.predecessor = if p > 1 { Some(pred) } else { Some(id) };
+            node.successors = if p > 1 { succs } else { vec![id] };
+            node.fingers = fingers;
+        }
+    }
+
+    /// Number of alive peers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The data placement mode.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Alive peer ids, in ring order.
+    pub fn ids(&self) -> impl Iterator<Item = RingId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Whether `id` is an alive peer.
+    pub fn is_alive(&self, id: RingId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Immutable access to a peer.
+    pub fn node(&self, id: RingId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a peer (tests and protocol internals).
+    pub fn node_mut(&mut self, id: RingId) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// The message counters.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Mutable message counters (estimators charge their own traffic here).
+    pub fn stats_mut(&mut self) -> &mut MessageStats {
+        &mut self.stats
+    }
+
+    /// Sets the equi-depth bucket count peers use in probe replies.
+    pub fn set_summary_buckets(&mut self, buckets: usize) {
+        self.summary_buckets = buckets.max(1);
+    }
+
+    /// The probe summary granularity.
+    pub fn summary_buckets(&self) -> usize {
+        self.summary_buckets
+    }
+
+    /// Sets the replication factor (copies beyond the primary; 0 = off) and
+    /// seeds replicas immediately from current primaries (construction-time,
+    /// free of message charges — ongoing maintenance is charged via
+    /// stabilization).
+    pub fn set_replication(&mut self, factor: usize) {
+        self.replication = factor;
+        self.reseed_replicas();
+    }
+
+    /// The replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// **Ground truth**: the alive peer owning ring point `t` (the first
+    /// peer clockwise at or after `t`). For construction and assertions only.
+    ///
+    /// # Panics
+    /// Panics if the network is empty.
+    pub fn true_owner(&self, t: RingId) -> RingId {
+        assert!(!self.nodes.is_empty(), "true_owner on empty network");
+        self.nodes
+            .range(t..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&id, _)| id)
+            .expect("nonempty")
+    }
+
+    /// A uniformly random alive peer (simulator-level helper for choosing
+    /// estimation initiators; free of message charges).
+    pub fn random_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<RingId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.nodes.len());
+        self.nodes.keys().nth(idx).copied()
+    }
+
+    /// Distributes `items` to their owners per the placement map
+    /// (construction-time; free of message charges).
+    pub fn bulk_load(&mut self, items: &[f64]) {
+        assert!(!self.nodes.is_empty(), "bulk_load on empty network");
+        let mut per_owner: BTreeMap<RingId, Vec<f64>> = BTreeMap::new();
+        for &x in items {
+            let owner = self.true_owner(self.placement.place(x));
+            per_owner.entry(owner).or_default().push(x);
+        }
+        for (owner, vals) in per_owner {
+            self.nodes.get_mut(&owner).expect("alive owner").store.extend_values(vals);
+        }
+    }
+
+    /// Total items across all alive peers.
+    pub fn total_items(&self) -> u64 {
+        self.nodes.values().map(|n| n.store.len() as u64).sum()
+    }
+
+    /// Every stored value, across all peers (ground truth for metrics).
+    pub fn global_values(&self) -> Vec<f64> {
+        let mut all: Vec<f64> =
+            self.nodes.values().flat_map(|n| n.store.values().iter().copied()).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stores"));
+        all
+    }
+
+    /// Iterative Chord lookup of ring point `target` starting at peer
+    /// `from`, using only per-node routing state. Charges 2 messages per
+    /// hop and 1 per timeout on a dead peer (dead entries are purged from
+    /// the discovering node, as a real timeout handler would).
+    pub fn lookup(&mut self, from: RingId, target: RingId) -> Result<LookupResult, LookupError> {
+        if self.nodes.is_empty() {
+            return Err(LookupError::EmptyNetwork);
+        }
+        if !self.is_alive(from) {
+            return Err(LookupError::InitiatorDead);
+        }
+        let mut cur = from;
+        let mut hops: u32 = 0;
+        loop {
+            if hops > MAX_HOPS {
+                return Err(LookupError::HopLimitExceeded);
+            }
+            let node = self.nodes.get(&cur).expect("cur is alive");
+            // A node knows its own arc.
+            if node.owns(target) || node.successors.is_empty() {
+                self.stats.record_lookup(hops);
+                return Ok(LookupResult { owner: cur, hops });
+            }
+            // Is the target in (cur, successor]? Then the successor owns it.
+            let succs = node.successors.clone();
+            let succ = succs[0];
+            if target.in_arc(cur, succ) {
+                for s in succs {
+                    if self.is_alive(s) {
+                        hops += 1;
+                        self.stats.record(MessageKind::LookupHop, 8);
+                        self.stats.record(MessageKind::LookupHop, 8);
+                        self.stats.record_lookup(hops);
+                        return Ok(LookupResult { owner: s, hops });
+                    }
+                    self.stats.record(MessageKind::LookupTimeout, 8);
+                    self.nodes.get_mut(&cur).expect("alive").forget(s);
+                }
+                return Err(LookupError::NoRoute);
+            }
+            // Advance via the best alive candidate.
+            let candidates = node.route_candidates(target);
+            let mut advanced = false;
+            for c in candidates {
+                if self.is_alive(c) {
+                    hops += 1;
+                    self.stats.record(MessageKind::LookupHop, 8);
+                    self.stats.record(MessageKind::LookupHop, 8);
+                    cur = c;
+                    advanced = true;
+                    break;
+                }
+                self.stats.record(MessageKind::LookupTimeout, 8);
+                self.nodes.get_mut(&cur).expect("alive").forget(c);
+            }
+            if !advanced {
+                // All preceding candidates dead: step through the successor
+                // list (the target then lies beyond the first alive one, so
+                // the next iteration resolves or advances from there).
+                let succs = self.nodes.get(&cur).expect("alive").successors.clone();
+                for s in succs {
+                    if self.is_alive(s) {
+                        hops += 1;
+                        self.stats.record(MessageKind::LookupHop, 8);
+                        self.stats.record(MessageKind::LookupHop, 8);
+                        cur = s;
+                        advanced = true;
+                        break;
+                    }
+                    self.stats.record(MessageKind::LookupTimeout, 8);
+                    self.nodes.get_mut(&cur).expect("alive").forget(s);
+                }
+            }
+            if !advanced {
+                return Err(LookupError::NoRoute);
+            }
+        }
+    }
+
+    /// Routes to the owner of `ring_point` and probes it: the peer replies
+    /// with `(arc, count, equi-depth summary)`. This is the paper's Phase-1
+    /// RPC.
+    pub fn probe(
+        &mut self,
+        initiator: RingId,
+        ring_point: RingId,
+    ) -> Result<ProbeReply, LookupError> {
+        let res = self.lookup(initiator, ring_point)?;
+        let node = self.nodes.get(&res.owner).expect("owner alive");
+        let summary = node.store.summary(self.summary_buckets);
+        let reply = ProbeReply {
+            peer: res.owner,
+            predecessor: node.predecessor,
+            count: node.store.len() as u64,
+            sum: node.store.sum(),
+            sum_sq: node.store.sum_sq(),
+            summary,
+            hops: res.hops,
+        };
+        self.stats.record(MessageKind::Probe, 8);
+        self.stats.record(MessageKind::ProbeReply, 40 + reply.summary.wire_size());
+        Ok(reply)
+    }
+
+    /// Inserts one item through the overlay: routes to the owner of its
+    /// placement position and stores it there (one request + ack on top of
+    /// the routing hops). This is the write path dynamic workloads use.
+    pub fn insert(&mut self, initiator: RingId, x: f64) -> Result<u32, LookupError> {
+        let pos = self.placement.place(x);
+        let res = self.lookup(initiator, pos)?;
+        self.nodes.get_mut(&res.owner).expect("owner alive").store.insert(x);
+        self.stats.record(MessageKind::Handoff, 8);
+        self.stats.record(MessageKind::Handoff, 0);
+        Ok(res.hops)
+    }
+
+    /// Deletes one occurrence of `x` through the overlay; returns whether an
+    /// item was found (plus the routing hops spent).
+    pub fn delete(&mut self, initiator: RingId, x: f64) -> Result<(bool, u32), LookupError> {
+        let pos = self.placement.place(x);
+        let res = self.lookup(initiator, pos)?;
+        let removed = self.nodes.get_mut(&res.owner).expect("owner alive").store.remove(x);
+        self.stats.record(MessageKind::Handoff, 8);
+        self.stats.record(MessageKind::Handoff, 0);
+        Ok((removed, res.hops))
+    }
+
+    /// Routes to the owner of `ring_point` and asks it for one uniform local
+    /// tuple (Phase-2 remote sampling). `None` tuple if the peer is empty.
+    pub fn sample_tuple<R: Rng + ?Sized>(
+        &mut self,
+        initiator: RingId,
+        ring_point: RingId,
+        rng: &mut R,
+    ) -> Result<(Option<f64>, u32), LookupError> {
+        let res = self.lookup(initiator, ring_point)?;
+        let node = self.nodes.get(&res.owner).expect("owner alive");
+        let tuple = node.store.sample_uniform(rng);
+        self.stats.record(MessageKind::TupleSample, 8);
+        self.stats.record(MessageKind::TupleSample, 16);
+        Ok((tuple, res.hops))
+    }
+
+    /// Checks structural ring invariants against ground truth: every node's
+    /// predecessor/successor match the ring order and every item sits on the
+    /// peer owning its ring position. Returns a list of violations (empty =
+    /// consistent). Test/diagnostic helper.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let ids: Vec<RingId> = self.nodes.keys().copied().collect();
+        let p = ids.len();
+        for (i, &id) in ids.iter().enumerate() {
+            let node = &self.nodes[&id];
+            let true_succ = ids[(i + 1) % p];
+            let true_pred = ids[(i + p - 1) % p];
+            if p > 1 {
+                if node.successor() != Some(true_succ) {
+                    violations.push(format!(
+                        "{id}: successor {:?} != true {true_succ}",
+                        node.successor()
+                    ));
+                }
+                if node.predecessor != Some(true_pred) {
+                    violations.push(format!(
+                        "{id}: predecessor {:?} != true {true_pred}",
+                        node.predecessor
+                    ));
+                }
+            }
+            for &x in node.store.values() {
+                let pos = self.placement.place(x);
+                if self.true_owner(pos) != id {
+                    violations.push(format!("{id}: item {x} belongs to {}", self.true_owner(pos)));
+                }
+            }
+        }
+        violations
+    }
+}

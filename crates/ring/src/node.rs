@@ -1,0 +1,228 @@
+//! Per-peer routing state (the Chord node).
+
+use crate::id::{RingId, RING_BITS};
+use crate::store::LocalStore;
+use std::collections::BTreeMap;
+
+/// Default successor-list length (Chord recommends `Θ(log P)`; 8 covers
+/// networks up to ~2⁸·ln-ish failure patterns and is what we use everywhere).
+pub const SUCCESSOR_LIST_LEN: usize = 8;
+
+/// One peer: identifier, routing state, and local data.
+///
+/// Routing state may be **stale** (pointing at departed peers or skipping
+/// newly joined ones); only [`crate::Network::stabilize_round`] repairs it,
+/// exactly like Chord. The data store is always internally consistent.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The peer's ring identifier.
+    pub id: RingId,
+    /// Believed predecessor (defines the owned arc `(predecessor, id]`).
+    pub predecessor: Option<RingId>,
+    /// Believed successors, nearest first; `successors[0]` is *the*
+    /// successor.
+    pub successors: Vec<RingId>,
+    /// Finger table: `fingers[i]` ≈ `successor(id + 2^i)`.
+    pub fingers: Vec<Option<RingId>>,
+    /// The peer's local data (primary copies).
+    pub store: LocalStore,
+    /// Replicas held on behalf of other peers, keyed by the primary's id,
+    /// with a lease age (rounds since last refresh; garbage-collected when
+    /// the lease expires).
+    pub replicas: BTreeMap<RingId, (LocalStore, u32)>,
+}
+
+impl Node {
+    /// A fresh node with empty routing state and no data.
+    pub fn new(id: RingId) -> Self {
+        Self {
+            id,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: vec![None; RING_BITS as usize],
+            store: LocalStore::new(),
+            replicas: BTreeMap::new(),
+        }
+    }
+
+    /// The immediate successor, if known.
+    pub fn successor(&self) -> Option<RingId> {
+        self.successors.first().copied()
+    }
+
+    /// The fraction of the ring this node believes it owns (its inclusion
+    /// probability under uniform ring-position probing).
+    ///
+    /// `None` when the predecessor is unknown (a node that has not finished
+    /// joining).
+    pub fn arc_fraction(&self) -> Option<f64> {
+        self.predecessor.map(|p| self.id.arc_fraction_from(p))
+    }
+
+    /// Whether ring point `t` falls in this node's believed arc.
+    pub fn owns(&self, t: RingId) -> bool {
+        match self.predecessor {
+            Some(p) => t.in_arc(p, self.id),
+            None => false,
+        }
+    }
+
+    /// Routing candidates for reaching `target`, best first: every known
+    /// peer in the open arc `(self.id, target)`, ordered by decreasing
+    /// clockwise progress. The caller (the network) tries them in order,
+    /// skipping dead ones.
+    pub fn route_candidates(&self, target: RingId) -> Vec<RingId> {
+        let mut cands: Vec<RingId> = self
+            .fingers
+            .iter()
+            .flatten()
+            .chain(self.successors.iter())
+            .copied()
+            .filter(|&c| c != self.id && c.in_open_arc(self.id, target))
+            .collect();
+        // Sort by progress toward target: larger distance from self first.
+        cands.sort_by_key(|&c| std::cmp::Reverse(self.id.distance_to(c)));
+        cands.dedup();
+        cands
+    }
+
+    /// Purges a (discovered-dead) peer from all routing state.
+    pub fn forget(&mut self, dead: RingId) {
+        self.successors.retain(|&s| s != dead);
+        for f in &mut self.fingers {
+            if *f == Some(dead) {
+                *f = None;
+            }
+        }
+        if self.predecessor == Some(dead) {
+            self.predecessor = None;
+        }
+    }
+
+    /// Installs `peer` into the successor list if it belongs there (closer
+    /// than an existing entry or list not full), keeping the list sorted by
+    /// clockwise distance and bounded by [`SUCCESSOR_LIST_LEN`].
+    pub fn offer_successor(&mut self, peer: RingId) {
+        if peer == self.id {
+            return;
+        }
+        if !self.successors.contains(&peer) {
+            self.successors.push(peer);
+        }
+        let me = self.id;
+        self.successors.sort_by_key(|&s| me.distance_to(s));
+        self.successors.truncate(SUCCESSOR_LIST_LEN);
+    }
+
+    /// Updates the predecessor if `peer` is closer (in the arc
+    /// `(current_pred, self)`), or sets it when unknown.
+    pub fn offer_predecessor(&mut self, peer: RingId) {
+        if peer == self.id {
+            return;
+        }
+        match self.predecessor {
+            None => self.predecessor = Some(peer),
+            Some(p) => {
+                if peer.in_open_arc(p, self.id) {
+                    self.predecessor = Some(peer);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_owns_nothing() {
+        let n = Node::new(RingId(100));
+        assert!(!n.owns(RingId(100)));
+        assert!(n.successor().is_none());
+        assert!(n.arc_fraction().is_none());
+    }
+
+    #[test]
+    fn ownership_follows_arc() {
+        let mut n = Node::new(RingId(100));
+        n.predecessor = Some(RingId(50));
+        assert!(n.owns(RingId(100)));
+        assert!(n.owns(RingId(51)));
+        assert!(!n.owns(RingId(50)));
+        assert!(!n.owns(RingId(101)));
+    }
+
+    #[test]
+    fn route_candidates_ordered_by_progress() {
+        let mut n = Node::new(RingId(0));
+        n.fingers[4] = Some(RingId(16));
+        n.fingers[6] = Some(RingId(64));
+        n.successors = vec![RingId(5), RingId(16)];
+        let cands = n.route_candidates(RingId(100));
+        assert_eq!(cands, vec![RingId(64), RingId(16), RingId(5)]);
+        // Target closer than some fingers: only preceding peers qualify.
+        let cands = n.route_candidates(RingId(10));
+        assert_eq!(cands, vec![RingId(5)]);
+    }
+
+    #[test]
+    fn route_candidates_exclude_target_itself() {
+        let mut n = Node::new(RingId(0));
+        n.successors = vec![RingId(7)];
+        // Target == candidate: open arc excludes it.
+        assert!(n.route_candidates(RingId(7)).is_empty());
+    }
+
+    #[test]
+    fn forget_purges_everywhere() {
+        let mut n = Node::new(RingId(0));
+        n.predecessor = Some(RingId(90));
+        n.successors = vec![RingId(5), RingId(9)];
+        n.fingers[0] = Some(RingId(5));
+        n.fingers[3] = Some(RingId(9));
+        n.forget(RingId(5));
+        assert_eq!(n.successors, vec![RingId(9)]);
+        assert_eq!(n.fingers[0], None);
+        assert_eq!(n.fingers[3], Some(RingId(9)));
+        n.forget(RingId(90));
+        assert_eq!(n.predecessor, None);
+    }
+
+    #[test]
+    fn offer_successor_keeps_sorted_bounded() {
+        let mut n = Node::new(RingId(0));
+        for i in (1..=20).rev() {
+            n.offer_successor(RingId(i * 10));
+        }
+        assert_eq!(n.successors.len(), SUCCESSOR_LIST_LEN);
+        assert_eq!(n.successor(), Some(RingId(10)));
+        // Offering self is ignored.
+        n.offer_successor(RingId(0));
+        assert!(!n.successors.contains(&RingId(0)));
+        // Offering a duplicate doesn't grow the list.
+        n.offer_successor(RingId(10));
+        assert_eq!(n.successors.len(), SUCCESSOR_LIST_LEN);
+    }
+
+    #[test]
+    fn offer_successor_handles_wraparound() {
+        let mut n = Node::new(RingId(u64::MAX - 10));
+        n.offer_successor(RingId(5)); // wraps around 0
+        n.offer_successor(RingId(u64::MAX)); // nearer
+        assert_eq!(n.successor(), Some(RingId(u64::MAX)));
+    }
+
+    #[test]
+    fn offer_predecessor_takes_closer() {
+        let mut n = Node::new(RingId(100));
+        n.offer_predecessor(RingId(10));
+        assert_eq!(n.predecessor, Some(RingId(10)));
+        n.offer_predecessor(RingId(50)); // closer to 100
+        assert_eq!(n.predecessor, Some(RingId(50)));
+        n.offer_predecessor(RingId(20)); // farther: ignored
+        assert_eq!(n.predecessor, Some(RingId(50)));
+        n.offer_predecessor(RingId(100)); // self: ignored
+        assert_eq!(n.predecessor, Some(RingId(50)));
+    }
+}

@@ -1,0 +1,178 @@
+//! Turning a [`Scenario`] into a live network with data and ground truth.
+
+use crate::scenario::{NodeLayout, PlacementMode, Scenario};
+use dde_ring::{Network, Placement, RingId};
+use dde_stats::dist::Distribution;
+use dde_stats::rng::{Component, SeedSequence};
+use dde_stats::Ecdf;
+use rand::Rng;
+
+/// A built scenario: the network plus both flavours of ground truth.
+pub struct BuiltScenario {
+    /// The live overlay with data loaded.
+    pub net: Network,
+    /// The generating distribution (analytic ground truth).
+    pub truth: Box<dyn Distribution>,
+    /// The realized dataset's empirical CDF (exact ground truth — what a
+    /// perfect estimator would recover; differs from `truth` by the
+    /// dataset's own sampling noise).
+    pub data_ecdf: Ecdf,
+    /// The scenario this was built from.
+    pub scenario: Scenario,
+}
+
+/// Builds the scenario: derives the dataset and node ids from the master
+/// seed, wires a perfect ring, and bulk-loads the data.
+///
+/// # Panics
+/// Panics on degenerate scenarios (zero peers, zero items).
+pub fn build(scenario: &Scenario) -> BuiltScenario {
+    assert!(scenario.peers > 0, "scenario needs peers");
+    assert!(scenario.items > 0, "scenario needs items");
+    let (lo, hi) = scenario.domain;
+    let seq = SeedSequence::new(scenario.seed);
+    let truth = scenario.distribution.build(lo, hi);
+
+    // Dataset first: the load-balanced layout needs its quantiles.
+    let mut data_rng = seq.stream(Component::Dataset, 0);
+    let data: Vec<f64> = (0..scenario.items).map(|_| truth.sample(&mut data_rng)).collect();
+
+    let placement = match scenario.placement {
+        PlacementMode::Range => Placement::range(lo, hi),
+        PlacementMode::Hashed => Placement::hashed(lo, hi),
+    };
+
+    let mut id_rng = seq.stream(Component::NodeIds, 0);
+    let mut ids: Vec<RingId> = match scenario.layout {
+        NodeLayout::UniformIds => (0..scenario.peers).map(|_| RingId(id_rng.gen())).collect(),
+        NodeLayout::LoadBalanced => {
+            // Ids at the dataset's quantiles (plus id-space jitter to break
+            // ties between duplicate values). Only meaningful under range
+            // placement; under hashing it degenerates to uniform anyway.
+            let map = match placement.domain_map() {
+                Some(m) => *m,
+                None => {
+                    // Hashed placement: quantile layout is meaningless;
+                    // fall back to uniform ids.
+                    return build(&Scenario {
+                        layout: NodeLayout::UniformIds,
+                        ..scenario.clone()
+                    });
+                }
+            };
+            let mut sorted = data.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN from distributions"));
+            (1..=scenario.peers)
+                .map(|i| {
+                    let q = sorted[(i * scenario.items / scenario.peers)
+                        .min(scenario.items - 1)];
+                    let base = map.to_ring(q).0;
+                    RingId(base.wrapping_add(id_rng.gen_range(0..1u64 << 20)))
+                })
+                .collect()
+        }
+    };
+    ids.sort();
+    ids.dedup();
+
+    let mut net = Network::build(ids, placement);
+    net.set_summary_buckets(scenario.summary_buckets);
+    net.bulk_load(&data);
+
+    let data_ecdf = Ecdf::new(data);
+    BuiltScenario { net, truth, data_ecdf, scenario: scenario.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dde_stats::dist::DistributionKind;
+
+    #[test]
+    fn build_is_deterministic() {
+        let s = Scenario::default().with_peers(32).with_items(1_000);
+        let a = build(&s);
+        let b = build(&s);
+        assert_eq!(a.net.len(), b.net.len());
+        assert_eq!(a.net.global_values(), b.net.global_values());
+        assert_eq!(a.data_ecdf.samples(), b.data_ecdf.samples());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build(&Scenario::default().with_peers(32).with_items(1_000).with_seed(1));
+        let b = build(&Scenario::default().with_peers(32).with_items(1_000).with_seed(2));
+        assert_ne!(a.net.global_values(), b.net.global_values());
+    }
+
+    #[test]
+    fn data_matches_generator() {
+        let s = Scenario::default().with_peers(16).with_items(20_000);
+        let built = build(&s);
+        assert_eq!(built.net.total_items(), 20_000);
+        let ks = built.data_ecdf.ks_distance_to(built.truth.as_ref());
+        // Dataset noise only: KS ~ 1/√N.
+        assert!(ks < 0.02, "dataset diverges from generator: {ks}");
+        assert!(built.net.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn load_balanced_layout_equalizes_volume() {
+        let s = Scenario::default()
+            .with_peers(64)
+            .with_items(50_000)
+            .with_distribution(DistributionKind::Pareto { shape: 1.2 })
+            .with_layout(NodeLayout::LoadBalanced);
+        let built = build(&s);
+        let counts: Vec<usize> =
+            built.net.ids().map(|id| built.net.node(id).unwrap().store.len()).collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        // Under uniform ids with Pareto data the max would be tens of times
+        // the mean; load balancing keeps it within a small factor.
+        assert!(max < 4.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn uniform_ids_with_skew_have_hotspots() {
+        let s = Scenario::default()
+            .with_peers(64)
+            .with_items(50_000)
+            .with_distribution(DistributionKind::Pareto { shape: 1.2 });
+        let built = build(&s);
+        let counts: Vec<usize> =
+            built.net.ids().map(|id| built.net.node(id).unwrap().store.len()).collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(max > 5.0 * mean, "expected hotspots: max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn hashed_placement_balances_any_data() {
+        let s = Scenario::default()
+            .with_peers(64)
+            .with_items(50_000)
+            .with_distribution(DistributionKind::Pareto { shape: 1.2 })
+            .with_placement(PlacementMode::Hashed);
+        let built = build(&s);
+        let counts: Vec<usize> =
+            built.net.ids().map(|id| built.net.node(id).unwrap().store.len()).collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        // Hashing decouples volume from value skew; remaining imbalance is
+        // the arc-length variance of consistent hashing (Θ(log P) factor).
+        assert!(max < 8.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn domain_is_respected() {
+        let mut s = Scenario::default().with_peers(8).with_items(500);
+        s.domain = (-50.0, 75.0);
+        let built = build(&s);
+        let (lo, hi) = built.truth.domain();
+        assert_eq!((lo, hi), (-50.0, 75.0));
+        for &v in built.data_ecdf.samples() {
+            assert!((lo..=hi).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! F8 — routing cost: mean hops per probe vs network size.
+//!
+//! Expected shape: hops ≈ `c·log2(P)` with `c ≈ 0.5` on a healthy ring
+//! (Chord's classic result), rising under churn by the staleness of finger
+//! tables — this is the per-probe factor inside DF-DDE's `k·O(log P)` bill.
+
+use super::t1_defaults::default_scenario;
+use super::Scale;
+use crate::build::build;
+use crate::report::{f, Table};
+use dde_ring::RingId;
+use dde_ring::{ChurnConfig, ChurnProcess};
+use dde_stats::rng::{Component, SeedSequence};
+use rand::Rng;
+
+/// Network sizes swept.
+pub fn size_sweep(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![64, 512],
+        Scale::Full => vec![128, 512, 2048, 8192],
+    }
+}
+
+/// Builds figure F8's series.
+pub fn f8_routing_hops(scale: Scale) -> Vec<Table> {
+    let lookups = match scale {
+        Scale::Quick => 300,
+        Scale::Full => 2000,
+    };
+    let mut t = Table::new(
+        format!("F8: routing hops vs network size ({lookups} lookups/point)"),
+        &["P", "log2(P)", "hops (healthy)", "hops (churned)", "hops/log2(P)"],
+    );
+    for p in size_sweep(scale) {
+        let scenario = default_scenario(scale).with_peers(p).with_items(1_000);
+        let seq = SeedSequence::new(scenario.seed ^ 0xF8);
+        let mut rng = seq.stream(Component::Workload, p as u64);
+
+        // Healthy ring.
+        let mut built = build(&scenario);
+        let from = built.net.random_peer(&mut rng).expect("nonempty");
+        let mut hops_healthy = 0u64;
+        for _ in 0..lookups {
+            let target = RingId(rng.gen());
+            if let Ok(r) = built.net.lookup(from, target) {
+                hops_healthy += u64::from(r.hops);
+            }
+        }
+
+        // Churned ring (no full repair: fingers stay stale).
+        let mut built = build(&scenario);
+        let mut churn_rng = seq.stream(Component::Churn, p as u64);
+        let mut churn = ChurnProcess::new(ChurnConfig::symmetric(0.1, 1.0));
+        churn.run(&mut built.net, 5.0, &mut churn_rng);
+        let mut from = built.net.random_peer(&mut rng).expect("nonempty");
+        let mut hops_churned = 0u64;
+        let mut ok = 0u64;
+        for _ in 0..lookups {
+            if !built.net.is_alive(from) {
+                from = built.net.random_peer(&mut rng).expect("nonempty");
+            }
+            let target = RingId(rng.gen());
+            if let Ok(r) = built.net.lookup(from, target) {
+                hops_churned += u64::from(r.hops);
+                ok += 1;
+            }
+        }
+
+        let mean_h = hops_healthy as f64 / lookups as f64;
+        let mean_c = if ok > 0 { hops_churned as f64 / ok as f64 } else { f64::NAN };
+        let log2p = (p as f64).log2();
+        t.push_row(vec![
+            p.to_string(),
+            f(log2p),
+            f(mean_h),
+            f(mean_c),
+            f(mean_h / log2p),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f8_hops_scale_logarithmically() {
+        let t = &f8_routing_hops(Scale::Quick)[0];
+        assert_eq!(t.rows.len(), 2);
+        let ratio_small: f64 = t.rows[0][4].parse().unwrap();
+        let ratio_large: f64 = t.rows[1][4].parse().unwrap();
+        // hops/log2(P) stays in a narrow band ⇒ logarithmic scaling.
+        assert!(ratio_small > 0.2 && ratio_small < 1.2, "ratio {ratio_small}");
+        assert!(ratio_large > 0.2 && ratio_large < 1.2, "ratio {ratio_large}");
+        // Churn costs extra hops.
+        let healthy: f64 = t.rows[1][2].parse().unwrap();
+        let churned: f64 = t.rows[1][3].parse().unwrap();
+        assert!(churned >= healthy * 0.9, "churned routing should not be cheaper");
+    }
+}

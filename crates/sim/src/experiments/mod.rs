@@ -1,0 +1,111 @@
+//! The reconstructed experiment suite (see `DESIGN.md` §4 and
+//! `EXPERIMENTS.md` for the paper-vs-measured record).
+//!
+//! Every experiment is a function from a [`Scale`] to one or more
+//! [`Table`]s, regenerable via `cargo run -p dde-bench --bin expts -- <id>`
+//! and benchmarked by the matching Criterion target in `dde-bench`.
+
+pub mod f1_probes;
+pub mod f2_network_size;
+pub mod f3_distributions;
+pub mod f4_cost_accuracy;
+pub mod f5_churn;
+pub mod f5b_continuous;
+pub mod f6_granularity;
+pub mod f7_dataset_size;
+pub mod f8_routing;
+pub mod f10_replication;
+pub mod f9_sample_quality;
+pub mod t1_defaults;
+pub mod t2_cost_to_target;
+pub mod t3_bias_ablation;
+pub mod t4_probe_strategy;
+pub mod t5_aggregates;
+
+pub use f1_probes::f1_accuracy_vs_probes;
+pub use f2_network_size::f2_accuracy_vs_network_size;
+pub use f3_distributions::f3_distribution_free;
+pub use f4_cost_accuracy::f4_cost_accuracy_frontier;
+pub use f5_churn::f5_accuracy_under_churn;
+pub use f5b_continuous::f5b_continuous_refresh;
+pub use f6_granularity::f6_summary_granularity;
+pub use f7_dataset_size::f7_dataset_size;
+pub use f8_routing::f8_routing_hops;
+pub use f10_replication::f10_replication;
+pub use f9_sample_quality::f9_sample_quality;
+pub use t1_defaults::t1_default_parameters;
+pub use t2_cost_to_target::t2_messages_to_target_accuracy;
+pub use t3_bias_ablation::t3_bias_ablation;
+pub use t4_probe_strategy::t4_probe_strategy;
+pub use t5_aggregates::t5_aggregates;
+
+use crate::report::Table;
+
+/// Experiment scale: `Quick` keeps everything test-suite friendly (seconds);
+/// `Full` reproduces the paper-sized sweeps (minutes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small networks, few repeats — used by tests and smoke runs.
+    Quick,
+    /// Paper-scale sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Repeats per sweep point.
+    pub fn repeats(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 10,
+        }
+    }
+}
+
+/// Runs every experiment at the given scale, in index order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(t1_default_parameters(scale));
+    tables.extend(f1_accuracy_vs_probes(scale));
+    tables.extend(f2_accuracy_vs_network_size(scale));
+    tables.extend(f3_distribution_free(scale));
+    tables.extend(f4_cost_accuracy_frontier(scale));
+    tables.extend(f5_accuracy_under_churn(scale));
+    tables.extend(f5b_continuous_refresh(scale));
+    tables.extend(f6_summary_granularity(scale));
+    tables.extend(f7_dataset_size(scale));
+    tables.extend(f8_routing_hops(scale));
+    tables.extend(f9_sample_quality(scale));
+    tables.extend(f10_replication(scale));
+    tables.extend(t2_messages_to_target_accuracy(scale));
+    tables.extend(t3_bias_ablation(scale));
+    tables.extend(t4_probe_strategy(scale));
+    tables.extend(t5_aggregates(scale));
+    tables
+}
+
+/// Runs one experiment by id (`"f1"`, `"t3"`, …); `None` for unknown ids.
+pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    Some(match id.to_ascii_lowercase().as_str() {
+        "t1" => t1_default_parameters(scale),
+        "f1" => f1_accuracy_vs_probes(scale),
+        "f2" => f2_accuracy_vs_network_size(scale),
+        "f3" => f3_distribution_free(scale),
+        "f4" => f4_cost_accuracy_frontier(scale),
+        "f5" => f5_accuracy_under_churn(scale),
+        "f5b" => f5b_continuous_refresh(scale),
+        "f6" => f6_summary_granularity(scale),
+        "f7" => f7_dataset_size(scale),
+        "f8" => f8_routing_hops(scale),
+        "f9" => f9_sample_quality(scale),
+        "f10" => f10_replication(scale),
+        "t2" => t2_messages_to_target_accuracy(scale),
+        "t3" => t3_bias_ablation(scale),
+        "t4" => t4_probe_strategy(scale),
+        "t5" => t5_aggregates(scale),
+        _ => return None,
+    })
+}
+
+/// All experiment ids, in run order.
+pub const ALL_IDS: &[&str] =
+    &["t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "t2", "t3", "t4", "t5"];

@@ -1,0 +1,142 @@
+//! T2 — messages needed to reach a target accuracy, per method.
+//!
+//! The headline efficiency table: for a KS target, how many messages does
+//! each method spend? Expected shape: DF-DDE needs a small multiple of
+//! `k*·log P`; uniform-peer (equal-weight) **never** reaches the target on
+//! skewed data (bias floor); gossip/exact reach it at `Θ(P)`-and-up cost.
+
+use super::t1_defaults::{default_probes, default_scenario};
+use super::Scale;
+use crate::build::build;
+use crate::report::{f, Table};
+use crate::runner::aggregate;
+use dde_core::{
+    DensityEstimator, DfDde, DfDdeConfig, ExactAggregation, GossipAggregation, GossipConfig,
+    PoolWeighting, UniformPeerConfig, UniformPeerSampling,
+};
+
+/// The KS target per scale (looser at quick scale: fewer repeats).
+pub fn ks_target(scale: Scale) -> f64 {
+    match scale {
+        Scale::Quick => 0.08,
+        Scale::Full => 0.05,
+    }
+}
+
+/// Doubles the budget until the method's mean KS reaches `target`, returning
+/// `(budget, messages, ks)` of the first success, or `None` if the cap is
+/// hit first (a bias floor).
+fn search<F>(mut make: F, built: &mut crate::build::BuiltScenario, target: f64, repeats: usize,
+             cap: usize) -> Option<(usize, f64, f64)>
+where
+    F: FnMut(usize) -> Box<dyn DensityEstimator>,
+{
+    let mut budget = 8;
+    while budget <= cap {
+        let est = make(budget);
+        let a = aggregate(built, est.as_ref(), repeats);
+        if a.ks_mean <= target && a.runs > 0 {
+            return Some((budget, a.messages_mean, a.ks_mean));
+        }
+        budget *= 2;
+    }
+    None
+}
+
+/// Builds table T2.
+pub fn t2_messages_to_target_accuracy(scale: Scale) -> Vec<Table> {
+    let scenario = default_scenario(scale);
+    let mut built = build(&scenario);
+    let target = ks_target(scale);
+    let cap = match scale {
+        Scale::Quick => 256,
+        Scale::Full => 2048,
+    };
+    let mut t = Table::new(
+        format!("T2: cost to reach KS <= {target} (budget doubling, cap {cap})"),
+        &["method", "budget", "msgs", "ks reached"],
+    );
+
+    let fmt = |t: &mut Table, name: &str, r: Option<(usize, f64, f64)>| match r {
+        Some((b, m, k)) => t.push_row(vec![name.into(), b.to_string(), f(m), f(k)]),
+        None => t.push_row(vec![name.into(), format!(">{cap}"), "-".into(), "never (bias floor)".into()]),
+    };
+
+    let r = search(
+        |k| Box::new(DfDde::new(DfDdeConfig::with_probes(k))),
+        &mut built,
+        target,
+        scale.repeats(),
+        cap,
+    );
+    fmt(&mut t, "df-dde", r);
+
+    let r = search(
+        |k| {
+            Box::new(UniformPeerSampling::new(UniformPeerConfig {
+                peers: k,
+                weighting: PoolWeighting::CountWeighted,
+                ..UniformPeerConfig::default()
+            }))
+        },
+        &mut built,
+        target,
+        scale.repeats(),
+        cap,
+    );
+    fmt(&mut t, "uniform-peer-cw", r);
+
+    // The biased baseline may be capped by the network size itself.
+    let naive_cap = cap.min(built.net.len());
+    let r = search(
+        |k| {
+            Box::new(UniformPeerSampling::new(UniformPeerConfig {
+                peers: k,
+                ..UniformPeerConfig::default()
+            }))
+        },
+        &mut built,
+        target,
+        scale.repeats(),
+        naive_cap,
+    );
+    fmt(&mut t, "uniform-peer", r);
+
+    let r = search(
+        |rounds| {
+            Box::new(GossipAggregation::new(GossipConfig {
+                rounds,
+                ..GossipConfig::default()
+            }))
+        },
+        &mut built,
+        target,
+        1,
+        64,
+    );
+    fmt(&mut t, "gossip", r);
+
+    let a = aggregate(&mut built, &ExactAggregation::new(), 1);
+    t.push_row(vec!["exact-walk".into(), "full".into(), f(a.messages_mean), f(a.ks_mean)]);
+
+    let _ = default_probes(scale); // anchor: T2 shares T1's scenario
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_dfdde_reaches_target_cheaper_than_gossip() {
+        let t = &t2_messages_to_target_accuracy(Scale::Quick)[0];
+        let dfdde = t.rows.iter().find(|r| r[0] == "df-dde").unwrap();
+        assert_ne!(dfdde[2], "-", "df-dde must reach the target: {dfdde:?}");
+        let df_msgs: f64 = dfdde[2].parse().unwrap();
+        let gossip = t.rows.iter().find(|r| r[0] == "gossip").unwrap();
+        if gossip[2] != "-" {
+            let g_msgs: f64 = gossip[2].parse().unwrap();
+            assert!(g_msgs > df_msgs, "gossip {g_msgs} should cost more than df-dde {df_msgs}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text and CSV rendering of experiment results.
+
+use std::fmt::Write as _;
+
+/// A simple result table: header row + data rows, rendered as aligned text
+/// (the way the paper's tables read) or CSV (for plotting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (e.g. `"F1: accuracy vs probe count"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(row);
+    }
+
+    /// Renders as aligned monospace text.
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>width$}  ", cell, width = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers + rows; cells containing commas are quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 significant-ish decimals for table cells.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = Table::new("demo", &["k", "ks"]);
+        t.push_row(vec!["8".into(), "0.1000".into()]);
+        t.push_row(vec!["128".into(), "0.0125".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("k"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn renders_csv_with_escaping() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a,b".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("\"a,b\",1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.012345), "0.0123");
+        assert_eq!(f(3.17159), "3.17");
+        assert_eq!(f(123456.0), "123456");
+    }
+}

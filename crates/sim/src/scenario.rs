@@ -1,0 +1,139 @@
+//! Declarative scenario configuration.
+
+use dde_stats::dist::DistributionKind;
+use serde::{Deserialize, Serialize};
+
+/// How items map to ring positions (see [`dde_ring::Placement`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PlacementMode {
+    /// Order-preserving range placement (the paper's regime).
+    Range,
+    /// Classic DHT hashing.
+    Hashed,
+}
+
+/// How peer identifiers are laid out on the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum NodeLayout {
+    /// Uniformly random node ids (plain consistent hashing).
+    UniformIds,
+    /// Node ids at the data's quantiles, so every peer holds ~equal volume —
+    /// the steady state of load-balanced range-partitioned systems
+    /// (Mercury, P-Ring). Arc length then anti-correlates with data density,
+    /// the adversarial case for uncorrected ring-position sampling.
+    LoadBalanced,
+}
+
+/// A complete, reproducible experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of peers.
+    pub peers: usize,
+    /// Number of data items.
+    pub items: usize,
+    /// The data domain `[lo, hi]`.
+    pub domain: (f64, f64),
+    /// The generating distribution.
+    pub distribution: DistributionKind,
+    /// Item placement mode.
+    pub placement: PlacementMode,
+    /// Node-id layout.
+    pub layout: NodeLayout,
+    /// Equi-depth buckets per probe reply.
+    pub summary_buckets: usize,
+    /// Master seed: everything (ids, data, probes, churn) derives from it.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    /// The defaults of experiment table T1: a mid-size ring with skewed data
+    /// under range placement.
+    fn default() -> Self {
+        Self {
+            peers: 1024,
+            items: 100_000,
+            domain: (0.0, 1000.0),
+            distribution: DistributionKind::Zipf { cells: 64, exponent: 1.1 },
+            placement: PlacementMode::Range,
+            layout: NodeLayout::UniformIds,
+            summary_buckets: 8,
+            seed: 42,
+        }
+    }
+}
+
+impl Scenario {
+    /// Returns a copy with the given peer count.
+    pub fn with_peers(mut self, peers: usize) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// Returns a copy with the given item count.
+    pub fn with_items(mut self, items: usize) -> Self {
+        self.items = items;
+        self
+    }
+
+    /// Returns a copy with the given distribution.
+    pub fn with_distribution(mut self, d: DistributionKind) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Returns a copy with the given placement mode.
+    pub fn with_placement(mut self, p: PlacementMode) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Returns a copy with the given node layout.
+    pub fn with_layout(mut self, l: NodeLayout) -> Self {
+        self.layout = l;
+        self
+    }
+
+    /// Returns a copy with the given summary granularity.
+    pub fn with_summary_buckets(mut self, b: usize) -> Self {
+        self.summary_buckets = b;
+        self
+    }
+
+    /// Returns a copy with the given master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let s = Scenario::default()
+            .with_peers(16)
+            .with_items(100)
+            .with_seed(7)
+            .with_summary_buckets(4)
+            .with_placement(PlacementMode::Hashed)
+            .with_layout(NodeLayout::LoadBalanced);
+        assert_eq!(s.peers, 16);
+        assert_eq!(s.items, 100);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.summary_buckets, 4);
+        assert_eq!(s.placement, PlacementMode::Hashed);
+        assert_eq!(s.layout, NodeLayout::LoadBalanced);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = Scenario::default();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,146 @@
+//! Finite mixtures of distributions (multi-modal workloads).
+
+use super::Distribution;
+use crate::{invert_cdf_bisect, CdfFn};
+use rand::RngCore;
+
+/// A finite mixture `Σ wᵢ·Dᵢ` of component distributions.
+///
+/// `pdf`/`cdf` are exact weighted sums; `inv_cdf` falls back to bisection
+/// (mixture CDFs have no closed-form inverse); sampling picks a component by
+/// weight and then samples it — both exact.
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn Distribution>)>,
+    /// Cumulative component weights for sampling.
+    cum_weights: Vec<f64>,
+    domain: (f64, f64),
+    name: &'static str,
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs; weights are
+    /// normalized to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if no components are given or any weight is non-positive.
+    pub fn new(components: Vec<(f64, Box<dyn Distribution>)>, name: &'static str) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let total: f64 = components.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0.0, "weights must be positive");
+        let components: Vec<(f64, Box<dyn Distribution>)> =
+            components.into_iter().map(|(w, d)| {
+                assert!(w > 0.0, "non-positive weight {w}");
+                (w / total, d)
+            }).collect();
+        let mut cum_weights = Vec::with_capacity(components.len());
+        let mut acc = 0.0;
+        for (w, _) in &components {
+            acc += w;
+            cum_weights.push(acc);
+        }
+        *cum_weights.last_mut().expect("nonempty") = 1.0;
+        let domain = components.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, d)| {
+            let (dlo, dhi) = d.domain();
+            (lo.min(dlo), hi.max(dhi))
+        });
+        Self { components, cum_weights, domain, name }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("name", &self.name)
+            .field("weights", &self.components.iter().map(|(w, _)| *w).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl CdfFn for Mixture {
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.cdf(x)).sum()
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+
+    fn inv_cdf(&self, u: f64) -> f64 {
+        invert_cdf_bisect(self, u)
+    }
+}
+
+impl Distribution for Mixture {
+    fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.pdf(x)).sum()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Pick the component by weight, then delegate: exact mixture sampling.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let idx = self.cum_weights.partition_point(|&c| c < u).min(self.components.len() - 1);
+        self.components[idx].1.sample(rng)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_distribution;
+    use crate::dist::{Normal, Truncated, Uniform};
+
+    fn bimodal() -> Mixture {
+        Mixture::new(
+            vec![
+                (0.5, Box::new(Truncated::new(Normal::new(25.0, 5.0), 0.0, 100.0)) as Box<dyn Distribution>),
+                (0.5, Box::new(Truncated::new(Normal::new(75.0, 5.0), 0.0, 100.0))),
+            ],
+            "bimodal",
+        )
+    }
+
+    #[test]
+    fn analytic_invariants() {
+        check_distribution(&bimodal(), 1e-6);
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let m = Mixture::new(
+            vec![
+                (2.0, Box::new(Uniform::new(0.0, 1.0)) as Box<dyn Distribution>),
+                (6.0, Box::new(Uniform::new(1.0, 2.0))),
+            ],
+            "test",
+        );
+        // 25% of the mass in [0,1], 75% in [1,2].
+        assert!((m.cdf(1.0) - 0.25).abs() < 1e-12);
+        assert!((m.cdf(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_has_trough_between_modes() {
+        let m = bimodal();
+        assert!(m.pdf(50.0) < 0.2 * m.pdf(25.0), "no trough at the midpoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn rejects_empty() {
+        Mixture::new(vec![], "empty");
+    }
+}

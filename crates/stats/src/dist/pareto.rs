@@ -1,0 +1,116 @@
+//! Bounded Pareto distribution — the canonical heavy-tailed workload.
+
+use super::Distribution;
+use crate::CdfFn;
+
+/// The bounded Pareto distribution on `[lo, hi]` with tail index `alpha`.
+///
+/// Density `∝ x'⁻⁽ᵅ⁺¹⁾` over a normalized coordinate `x' ∈ [1, H]`, mapped
+/// affinely onto `[lo, hi]`. Smaller `alpha` means a heavier tail, i.e. a
+/// larger share of items concentrated near `lo` — the adversarial case for
+/// naive peer sampling in the paper's setting, because a few peers hold most
+/// of the data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+    /// Width ratio H = x'max / x'min of the normalized coordinate.
+    h: f64,
+}
+
+impl BoundedPareto {
+    /// Spread of the normalized coordinate; fixed so that shape depends only
+    /// on `alpha`.
+    const H: f64 = 1000.0;
+
+    /// Creates a bounded Pareto on `[lo, hi]` with tail index `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `alpha <= 0`.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad interval [{lo}, {hi}]");
+        assert!(alpha.is_finite() && alpha > 0.0, "bad alpha {alpha}");
+        Self { lo, hi, alpha, h: Self::H }
+    }
+
+    /// Maps a domain value to the normalized Pareto coordinate in `[1, H]`.
+    fn norm_coord(&self, x: f64) -> f64 {
+        1.0 + (x - self.lo) / (self.hi - self.lo) * (self.h - 1.0)
+    }
+
+    /// Maps a normalized coordinate back to the domain.
+    fn domain_coord(&self, y: f64) -> f64 {
+        self.lo + (y - 1.0) / (self.h - 1.0) * (self.hi - self.lo)
+    }
+}
+
+impl CdfFn for BoundedPareto {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let y = self.norm_coord(x);
+        let a = self.alpha;
+        // Bounded-Pareto CDF on [1, H]: (1 - y^-a) / (1 - H^-a).
+        (1.0 - y.powf(-a)) / (1.0 - self.h.powf(-a))
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn inv_cdf(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let a = self.alpha;
+        let y = (1.0 - u * (1.0 - self.h.powf(-a))).powf(-1.0 / a);
+        self.domain_coord(y).clamp(self.lo, self.hi)
+    }
+}
+
+impl Distribution for BoundedPareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        let y = self.norm_coord(x);
+        let a = self.alpha;
+        let scale = (self.h - 1.0) / (self.hi - self.lo); // dy/dx
+        a * y.powf(-a - 1.0) / (1.0 - self.h.powf(-a)) * scale
+    }
+
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_distribution;
+
+    #[test]
+    fn analytic_invariants() {
+        check_distribution(&BoundedPareto::new(0.0, 1.0, 1.2), 1e-4);
+        check_distribution(&BoundedPareto::new(10.0, 500.0, 0.8), 1e-4);
+        check_distribution(&BoundedPareto::new(0.0, 100.0, 2.5), 1e-4);
+    }
+
+    #[test]
+    fn mass_concentrates_near_lo() {
+        let p = BoundedPareto::new(0.0, 100.0, 1.2);
+        // More than half of the mass must sit in the first 1% of the domain.
+        assert!(p.cdf(1.0) > 0.5, "cdf(1.0) = {}", p.cdf(1.0));
+    }
+
+    #[test]
+    fn heavier_tail_for_smaller_alpha() {
+        let light = BoundedPareto::new(0.0, 1.0, 3.0);
+        let heavy = BoundedPareto::new(0.0, 1.0, 0.5);
+        // The heavy tail keeps more mass far from lo.
+        assert!(1.0 - heavy.cdf(0.5) > 1.0 - light.cdf(0.5));
+    }
+}

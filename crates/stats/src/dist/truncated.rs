@@ -1,0 +1,109 @@
+//! Exact truncation of a distribution to a sub-interval.
+
+use super::Distribution;
+use crate::CdfFn;
+
+/// `base` conditioned on lying in `[lo, hi]`, with renormalized density.
+///
+/// All quantities are exact given an exact base:
+/// `F(x) = (F₀(x) - F₀(lo)) / (F₀(hi) - F₀(lo))`.
+#[derive(Debug, Clone)]
+pub struct Truncated<D> {
+    base: D,
+    lo: f64,
+    hi: f64,
+    f_lo: f64,
+    mass: f64,
+}
+
+impl<D: Distribution> Truncated<D> {
+    /// Truncates `base` to `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or if the base has (numerically) zero mass inside
+    /// `[lo, hi]`.
+    pub fn new(base: D, lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad interval [{lo}, {hi}]");
+        let f_lo = base.cdf(lo);
+        let mass = base.cdf(hi) - f_lo;
+        assert!(
+            mass > 1e-12,
+            "base distribution has no mass in [{lo}, {hi}] (mass = {mass:e})"
+        );
+        Self { base, lo, hi, f_lo, mass }
+    }
+
+    /// The underlying (untruncated) distribution.
+    pub fn base(&self) -> &D {
+        &self.base
+    }
+}
+
+impl<D: Distribution> CdfFn for Truncated<D> {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        ((self.base.cdf(x) - self.f_lo) / self.mass).clamp(0.0, 1.0)
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn inv_cdf(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        self.base.inv_cdf(self.f_lo + u * self.mass).clamp(self.lo, self.hi)
+    }
+}
+
+impl<D: Distribution> Distribution for Truncated<D> {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            self.base.pdf(x) / self.mass
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.base.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_distribution;
+    use crate::dist::{Exponential, Normal};
+
+    #[test]
+    fn analytic_invariants() {
+        check_distribution(&Truncated::new(Normal::new(50.0, 20.0), 0.0, 100.0), 1e-6);
+        check_distribution(&Truncated::new(Exponential::new(0.0, 0.08), 0.0, 100.0), 1e-6);
+        // Severe truncation: only the right tail survives.
+        check_distribution(&Truncated::new(Normal::new(0.0, 1.0), 1.0, 4.0), 1e-6);
+    }
+
+    #[test]
+    fn truncation_renormalizes() {
+        let t = Truncated::new(Normal::new(0.0, 1.0), -1.0, 1.0);
+        assert_eq!(t.cdf(-1.0), 0.0);
+        assert_eq!(t.cdf(1.0), 1.0);
+        // Symmetric truncation keeps the median at 0.
+        assert!((t.cdf(0.0) - 0.5).abs() < 1e-12);
+        // Density inside is scaled up by 1/mass ≈ 1/0.6827.
+        let n = Normal::new(0.0, 1.0);
+        assert!((t.pdf(0.0) / n.pdf(0.0) - 1.0 / 0.6826894921370859).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no mass")]
+    fn rejects_empty_truncation() {
+        // [20σ, 21σ] has zero mass to f64.
+        Truncated::new(Normal::new(0.0, 1.0), 20.0, 21.0);
+    }
+}

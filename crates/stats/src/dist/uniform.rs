@@ -1,0 +1,78 @@
+//! Uniform distribution on a bounded interval.
+
+use super::Distribution;
+use crate::CdfFn;
+
+/// The uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+}
+
+impl CdfFn for Uniform {
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn inv_cdf(&self, u: f64) -> f64 {
+        self.lo + u.clamp(0.0, 1.0) * (self.hi - self.lo)
+    }
+}
+
+impl Distribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if (self.lo..=self.hi).contains(&x) {
+            1.0 / (self.hi - self.lo)
+        } else {
+            0.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_distribution;
+
+    #[test]
+    fn analytic_invariants() {
+        check_distribution(&Uniform::new(0.0, 100.0), 1e-9);
+        check_distribution(&Uniform::new(-5.0, 3.0), 1e-9);
+    }
+
+    #[test]
+    fn cdf_values() {
+        let u = Uniform::new(10.0, 20.0);
+        assert_eq!(u.cdf(10.0), 0.0);
+        assert_eq!(u.cdf(15.0), 0.5);
+        assert_eq!(u.cdf(20.0), 1.0);
+        assert_eq!(u.cdf(0.0), 0.0);
+        assert_eq!(u.cdf(25.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interval")]
+    fn rejects_empty_interval() {
+        Uniform::new(3.0, 3.0);
+    }
+}

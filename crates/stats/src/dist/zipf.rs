@@ -1,0 +1,156 @@
+//! Zipf-cell distribution: Zipf-distributed mass over equal-width cells.
+//!
+//! The classic P2P workload skew: the domain is divided into `m` equal-width
+//! cells and cell `i` (after a pseudo-random permutation *is not* applied —
+//! cells are in rank order, so mass decays monotonically across the domain)
+//! receives probability `∝ 1/(i+1)^s`. Values are continuous: uniform within
+//! their cell, so the density is piecewise constant and the CDF piecewise
+//! linear — both exactly computable for ground truth.
+
+use super::Distribution;
+use crate::CdfFn;
+
+/// Zipf-distributed cell masses over `m` equal-width cells on `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    lo: f64,
+    hi: f64,
+    exponent: f64,
+    /// Cumulative probability at each cell boundary: `cum[i]` = mass of cells
+    /// `< i`; `cum[m] == 1`.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf-cell distribution with `cells` cells and exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `cells == 0`, `lo >= hi`, or `s < 0`.
+    pub fn new(lo: f64, hi: f64, cells: usize, s: f64) -> Self {
+        assert!(cells > 0, "need at least one cell");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad interval [{lo}, {hi}]");
+        assert!(s.is_finite() && s >= 0.0, "bad exponent {s}");
+        let weights: Vec<f64> = (0..cells).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = Vec::with_capacity(cells + 1);
+        cum.push(0.0);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cum.push(acc);
+        }
+        // Guard against accumulated rounding.
+        *cum.last_mut().expect("nonempty") = 1.0;
+        Self { lo, hi, exponent: s, cum }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cum.len() - 1
+    }
+
+    /// The Zipf exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    fn cell_width(&self) -> f64 {
+        (self.hi - self.lo) / self.cells() as f64
+    }
+
+    /// The cell index containing `x`, clamped to valid cells.
+    fn cell_of(&self, x: f64) -> usize {
+        let i = ((x - self.lo) / self.cell_width()).floor() as isize;
+        i.clamp(0, self.cells() as isize - 1) as usize
+    }
+}
+
+impl CdfFn for Zipf {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let i = self.cell_of(x);
+        let cell_lo = self.lo + i as f64 * self.cell_width();
+        let frac = (x - cell_lo) / self.cell_width();
+        self.cum[i] + frac * (self.cum[i + 1] - self.cum[i])
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn inv_cdf(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        // partition_point: first index where cum[idx] > u gives the cell.
+        let idx = self.cum.partition_point(|&c| c <= u);
+        if idx == 0 {
+            return self.lo;
+        }
+        if idx > self.cells() {
+            return self.hi;
+        }
+        let i = idx - 1;
+        let mass = self.cum[i + 1] - self.cum[i];
+        let frac = if mass > 0.0 { (u - self.cum[i]) / mass } else { 0.0 };
+        self.lo + (i as f64 + frac) * self.cell_width()
+    }
+}
+
+impl Distribution for Zipf {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        let i = self.cell_of(x);
+        (self.cum[i + 1] - self.cum[i]) / self.cell_width()
+    }
+
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::check_distribution;
+
+    #[test]
+    fn analytic_invariants() {
+        check_distribution(&Zipf::new(0.0, 100.0, 64, 1.1), 1e-9);
+        check_distribution(&Zipf::new(0.0, 1.0, 10, 2.0), 1e-9);
+        check_distribution(&Zipf::new(-50.0, 50.0, 128, 0.5), 1e-9);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(0.0, 10.0, 16, 0.0);
+        for x in [1.0, 2.5, 5.0, 7.75] {
+            assert!((z.cdf(x) - x / 10.0).abs() < 1e-12, "x={x}: {}", z.cdf(x));
+        }
+    }
+
+    #[test]
+    fn first_cell_has_largest_mass() {
+        let z = Zipf::new(0.0, 1.0, 32, 1.2);
+        let first = z.cdf(1.0 / 32.0);
+        let second = z.cdf(2.0 / 32.0) - first;
+        assert!(first > second, "first={first} second={second}");
+        // With s=1.2 over 32 cells, the head cell takes a large share.
+        assert!(first > 0.2);
+    }
+
+    #[test]
+    fn inv_cdf_hits_cell_boundaries() {
+        let z = Zipf::new(0.0, 64.0, 64, 1.0);
+        for i in 0..=64usize {
+            let u = z.cum[i];
+            let x = z.inv_cdf(u);
+            assert!((z.cdf(x) - u).abs() < 1e-12, "i={i} u={u} x={x}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Empirical cumulative distribution functions.
+
+use crate::CdfFn;
+
+/// The empirical CDF of a sample: `F̂(x) = #{xᵢ ≤ x} / n`.
+///
+/// Backed by a sorted copy of the sample; `cdf` and rank queries are
+/// `O(log n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of `samples` (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF of an empty sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "ECDF sample contains NaN");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Self { sorted: samples }
+    }
+
+    /// Builds from data already sorted ascending (checked in debug builds).
+    pub fn from_sorted(sorted: Vec<f64>) -> Self {
+        assert!(!sorted.is_empty(), "ECDF of an empty sample");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.len() == 0
+    }
+
+    /// Number of samples `<= x`.
+    pub fn rank(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&v| v <= x)
+    }
+
+    /// The `q`-quantile (type-1 / inverse-CDF convention), `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Kolmogorov–Smirnov distance to a reference CDF, computed exactly by
+    /// evaluating the supremum at the sample jump points (where it is always
+    /// attained for a continuous reference).
+    pub fn ks_distance_to<C: CdfFn + ?Sized>(&self, reference: &C) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = reference.cdf(x);
+            d = d.max((f - i as f64 / n).abs()).max(((i + 1) as f64 / n - f).abs());
+        }
+        d
+    }
+}
+
+impl CdfFn for Ecdf {
+    fn cdf(&self, x: f64) -> f64 {
+        self.rank(x) as f64 / self.sorted.len() as f64
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        (self.sorted[0], *self.sorted.last().expect("nonempty"))
+    }
+
+    fn inv_cdf(&self, u: f64) -> f64 {
+        self.quantile(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Uniform};
+
+    #[test]
+    fn rank_and_cdf() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.rank(0.5), 0);
+        assert_eq!(e.rank(1.0), 1);
+        assert_eq!(e.rank(2.0), 3);
+        assert_eq!(e.rank(10.0), 4);
+        assert_eq!(e.cdf(2.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect());
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.quantile(0.01), 1.0);
+    }
+
+    #[test]
+    fn ks_distance_of_perfect_sample_is_small() {
+        // Deterministic "perfect" sample: the i/n quantiles of U(0,1).
+        let n = 1000;
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let e = Ecdf::new(samples);
+        let d = e.ks_distance_to(&Uniform::new(0.0, 1.0));
+        assert!(d <= 0.5 / n as f64 + 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_distance_detects_mismatch() {
+        let e = Ecdf::new(vec![0.9, 0.91, 0.95, 0.99]);
+        let d = e.ks_distance_to(&Uniform::new(0.0, 1.0));
+        assert!(d > 0.8, "d = {d}");
+    }
+
+    #[test]
+    fn inversion_matches_quantile() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.inv_cdf(0.25), 1.0);
+        assert_eq!(e.inv_cdf(0.26), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        Ecdf::new(vec![]);
+    }
+
+    #[test]
+    fn uniform_trait_object_usable() {
+        // Ecdf can stand in anywhere a CdfFn is expected.
+        let e = Ecdf::new(vec![0.0, 1.0]);
+        let c: &dyn crate::CdfFn = &e;
+        assert_eq!(c.domain(), (0.0, 1.0));
+        let _ = Uniform::new(0.0, 1.0).sample(&mut rand::thread_rng());
+    }
+}

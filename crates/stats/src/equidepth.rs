@@ -1,0 +1,316 @@
+//! Equi-depth (quantile) summaries.
+//!
+//! This is the compact statistic every peer ships in a probe reply: `b`
+//! bucket boundaries such that each bucket holds (approximately) `n/b` of the
+//! peer's items. The estimator evaluates `count ≤ x` against these summaries;
+//! experiment F6 sweeps the bucket count `b` to measure the accuracy /
+//! message-size trade-off.
+
+use crate::piecewise::PiecewiseCdf;
+use crate::CdfFn;
+use serde::{Deserialize, Serialize};
+
+/// An equi-depth summary of a (local) dataset: bucket boundaries plus exact
+/// per-bucket counts.
+///
+/// `count_le` is exact at bucket boundaries and linearly interpolated inside
+/// buckets, so its worst-case error is bounded by the largest bucket count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiDepthSummary {
+    /// `b + 1` non-decreasing boundary values (empty when the summary is of
+    /// an empty dataset).
+    boundaries: Vec<f64>,
+    /// Exact item count per bucket (`boundaries.len() - 1` entries).
+    counts: Vec<u64>,
+}
+
+impl EquiDepthSummary {
+    /// A summary of an empty dataset.
+    pub fn empty() -> Self {
+        Self { boundaries: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Builds a summary with (up to) `buckets` buckets from data sorted
+    /// ascending.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or the input is not sorted (debug builds).
+    pub fn from_sorted(sorted: &[f64], buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        let n = sorted.len();
+        if n == 0 {
+            return Self::empty();
+        }
+        let b = buckets.min(n);
+        let mut boundaries = Vec::with_capacity(b + 1);
+        let mut ranks = Vec::with_capacity(b + 1);
+        for i in 0..=b {
+            // Boundary i sits at rank round(i·n/b); rank 0 = min, rank n = max.
+            let rank = (i * n) / b;
+            ranks.push(rank);
+            let idx = if rank == 0 { 0 } else { rank - 1 };
+            boundaries.push(if i == 0 { sorted[0] } else { sorted[idx] });
+        }
+        let counts = ranks.windows(2).map(|w| (w[1] - w[0]) as u64).collect();
+        Self { boundaries, counts }
+    }
+
+    /// Builds a summary directly from `b + 1` quantile boundary values and a
+    /// total count, distributing the count evenly across buckets (remainder
+    /// spread over the first buckets).
+    ///
+    /// Used to bridge streaming sketches ([`crate::gk::GkSketch`]) into probe
+    /// replies.
+    ///
+    /// # Panics
+    /// Panics if fewer than two boundaries are given (unless `total == 0`)
+    /// or boundaries are not sorted.
+    pub fn from_quantiles(boundaries: &[f64], total: u64) -> Self {
+        if total == 0 {
+            return Self::empty();
+        }
+        assert!(boundaries.len() >= 2, "need at least two boundaries");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries not sorted"
+        );
+        let b = boundaries.len() - 1;
+        let base = total / b as u64;
+        let rem = (total % b as u64) as usize;
+        let counts = (0..b).map(|i| base + u64::from(i < rem)).collect();
+        Self { boundaries: boundaries.to_vec(), counts }
+    }
+
+    /// Total number of items summarized.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The bucket boundary values (empty for an empty summary). These are
+    /// natural support points when assembling many summaries into a global
+    /// CDF: `count_le` is exact there.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// `(min, max)` of the summarized data, or `None` if empty.
+    pub fn bounds(&self) -> Option<(f64, f64)> {
+        if self.boundaries.is_empty() {
+            None
+        } else {
+            Some((self.boundaries[0], *self.boundaries.last().expect("nonempty")))
+        }
+    }
+
+    /// Estimated number of items `≤ x`.
+    ///
+    /// Exact at bucket boundaries; linear interpolation inside a bucket.
+    /// Zero-width buckets (runs of duplicates) are counted fully once `x`
+    /// reaches their value.
+    pub fn count_le(&self, x: f64) -> f64 {
+        if self.boundaries.is_empty() {
+            return 0.0;
+        }
+        if x < self.boundaries[0] {
+            return 0.0;
+        }
+        let last = *self.boundaries.last().expect("nonempty");
+        if x >= last {
+            return self.total() as f64;
+        }
+        // Find the bucket i with boundaries[i] <= x < boundaries[i+1].
+        // partition_point gives the first boundary > x.
+        let hi_idx = self.boundaries.partition_point(|&b| b <= x);
+        debug_assert!(hi_idx >= 1 && hi_idx < self.boundaries.len());
+        let i = hi_idx - 1;
+        let below: u64 = self.counts[..i].iter().sum();
+        let blo = self.boundaries[i];
+        let bhi = self.boundaries[hi_idx];
+        let width = bhi - blo;
+        let frac = if width > 0.0 { (x - blo) / width } else { 1.0 };
+        below as f64 + frac * self.counts[i] as f64
+    }
+
+    /// Approximate `q`-quantile (`q ∈ [0, 1]`) by inverse interpolation, or
+    /// `None` if the summary is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.boundaries.is_empty() || self.total() == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total() as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target || i == self.counts.len() - 1 {
+                let blo = self.boundaries[i];
+                let bhi = self.boundaries[i + 1];
+                let frac = if c > 0 { ((target - acc) / c as f64).clamp(0.0, 1.0) } else { 0.0 };
+                return Some(blo + frac * (bhi - blo));
+            }
+            acc = next;
+        }
+        self.bounds().map(|(_, hi)| hi)
+    }
+
+    /// Converts to a piecewise-linear CDF (probability scale), or `None` if
+    /// empty.
+    pub fn to_piecewise_cdf(&self) -> Option<PiecewiseCdf> {
+        if self.boundaries.is_empty() || self.total() == 0 {
+            return None;
+        }
+        let total = self.total() as f64;
+        let mut pts = Vec::with_capacity(self.boundaries.len());
+        let mut acc = 0.0;
+        pts.push((self.boundaries[0], 0.0));
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c as f64;
+            pts.push((self.boundaries[i + 1], acc / total));
+        }
+        Some(PiecewiseCdf::from_points(pts))
+    }
+
+    /// The serialized size of this summary on the wire, in bytes, as
+    /// accounted by the network simulator (8 bytes per boundary + 8 per
+    /// count).
+    pub fn wire_size(&self) -> usize {
+        8 * self.boundaries.len() + 8 * self.counts.len()
+    }
+}
+
+impl CdfFn for EquiDepthSummary {
+    fn cdf(&self, x: f64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.count_le(x) / t as f64
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        self.bounds().unwrap_or((0.0, 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_of(data: &mut [f64], buckets: usize) -> EquiDepthSummary {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        EquiDepthSummary::from_sorted(data, buckets)
+    }
+
+    #[test]
+    fn exact_at_boundaries() {
+        let mut data: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = summary_of(&mut data, 4);
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.buckets(), 4);
+        // Boundaries at ranks 0,25,50,75,100 → values 1,25,50,75,100.
+        assert_eq!(s.count_le(25.0), 25.0);
+        assert_eq!(s.count_le(50.0), 50.0);
+        assert_eq!(s.count_le(75.0), 75.0);
+        assert_eq!(s.count_le(100.0), 100.0);
+        assert_eq!(s.count_le(0.5), 0.0);
+        assert_eq!(s.count_le(1000.0), 100.0);
+    }
+
+    #[test]
+    fn interpolates_inside_buckets() {
+        let mut data: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = summary_of(&mut data, 4);
+        // Halfway through the first bucket [1, 25]: 25 items spread there.
+        let mid = s.count_le(13.0);
+        assert!((mid - 12.5).abs() < 1.0, "mid = {mid}");
+    }
+
+    #[test]
+    fn count_le_is_monotone() {
+        let mut data: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let s = summary_of(&mut data, 8);
+        let mut prev = -1.0;
+        for i in 0..=200 {
+            let x = i as f64 / 2.0;
+            let c = s.count_le(x);
+            assert!(c + 1e-12 >= prev, "not monotone at {x}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let mut data = vec![5.0; 50];
+        data.extend((0..50).map(f64::from));
+        let s = summary_of(&mut data, 10);
+        assert_eq!(s.total(), 100);
+        // All 50 duplicates plus the values 0..=5 are ≤ 5.0.
+        let c = s.count_le(5.0);
+        assert!((c - 56.0).abs() <= 6.0, "count_le(5.0) = {c}");
+        assert_eq!(s.count_le(49.0), 100.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = EquiDepthSummary::from_sorted(&[], 8);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.count_le(1.0), 0.0);
+        assert!(s.bounds().is_none());
+        assert!(s.quantile(0.5).is_none());
+
+        let s = EquiDepthSummary::from_sorted(&[7.0], 8);
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.count_le(7.0), 1.0);
+        assert_eq!(s.count_le(6.9), 0.0);
+        assert_eq!(s.bounds(), Some((7.0, 7.0)));
+    }
+
+    #[test]
+    fn more_buckets_than_items() {
+        let s = EquiDepthSummary::from_sorted(&[1.0, 2.0, 3.0], 100);
+        assert_eq!(s.buckets(), 3);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.count_le(2.0), 2.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let mut data: Vec<f64> = (0..1000).map(|i| i as f64 / 10.0).collect();
+        let s = summary_of(&mut data, 16);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = s.quantile(q).unwrap();
+            let back = s.count_le(x) / s.total() as f64;
+            assert!((back - q).abs() < 0.01, "q={q} x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn piecewise_conversion_preserves_cdf() {
+        let mut data: Vec<f64> = (0..256).map(|i| (i * i) as f64).collect();
+        let s = summary_of(&mut data, 8);
+        let pw = s.to_piecewise_cdf().unwrap();
+        for x in [0.0, 100.0, 5000.0, 30000.0, 65025.0] {
+            assert!(
+                (pw.cdf(x) - s.cdf(x)).abs() < 1e-9,
+                "x={x}: pw={} s={}",
+                pw.cdf(x),
+                s.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn wire_size_scales_with_buckets() {
+        let mut data: Vec<f64> = (0..100).map(f64::from).collect();
+        let s4 = summary_of(&mut data.clone(), 4);
+        let s16 = summary_of(&mut data, 16);
+        assert!(s16.wire_size() > s4.wire_size());
+        assert_eq!(s4.wire_size(), 8 * 5 + 8 * 4);
+    }
+}

@@ -1,0 +1,228 @@
+//! Greenwald–Khanna streaming quantile sketch.
+//!
+//! Peers whose local stores are too large (or arrive as streams) build their
+//! equi-depth probe summaries from a GK sketch instead of from sorted data.
+//! The sketch answers any quantile query within rank error `ε·n` using
+//! `O((1/ε)·log(εn))` space (Greenwald & Khanna, SIGMOD 2001).
+
+use crate::equidepth::EquiDepthSummary;
+
+/// One sketch tuple `(v, g, Δ)`: `g` = gap in min-rank to the predecessor,
+/// `Δ` = uncertainty of the rank of `v`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// A Greenwald–Khanna ε-approximate quantile sketch.
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    count: u64,
+    inserts_since_compress: u64,
+}
+
+impl GkSketch {
+    /// Creates a sketch with rank-error bound `epsilon` (e.g. 0.01 for 1%).
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 0.5)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 0.5, "epsilon {epsilon} out of (0, 0.5)");
+        Self { epsilon, tuples: Vec::new(), count: 0, inserts_since_compress: 0 }
+    }
+
+    /// Number of items inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of tuples currently stored (the space cost).
+    pub fn size(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The error bound.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Inserts one value.
+    pub fn insert(&mut self, v: f64) {
+        debug_assert!(!v.is_nan(), "NaN inserted into GK sketch");
+        self.count += 1;
+        let cap = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+
+        // First tuple with value > v.
+        let pos = self.tuples.partition_point(|t| t.v <= v);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0 // new min or max: rank known exactly
+        } else {
+            cap.saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { v, g: 1, delta });
+
+        self.inserts_since_compress += 1;
+        let period = (1.0 / (2.0 * self.epsilon)).ceil() as u64;
+        if self.inserts_since_compress >= period {
+            self.compress();
+            self.inserts_since_compress = 0;
+        }
+    }
+
+    /// Merges tuples whose combined uncertainty stays within the bound.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let mut i = self.tuples.len() - 2;
+        // Never merge away index 0 (the minimum).
+        while i >= 1 {
+            let a = self.tuples[i];
+            let b = self.tuples[i + 1];
+            if a.g + b.g + b.delta <= cap {
+                self.tuples[i + 1].g += a.g;
+                self.tuples.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) within rank error `ε·n`, or `None` if
+    /// the sketch is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let err = (self.epsilon * self.count as f64) as u64;
+
+        let mut rmin = 0u64;
+        let mut prev_v = self.tuples[0].v;
+        for t in &self.tuples {
+            rmin += t.g;
+            let rmax = rmin + t.delta;
+            if rmax > rank + err {
+                return Some(prev_v);
+            }
+            prev_v = t.v;
+        }
+        Some(prev_v)
+    }
+
+    /// Builds an equi-depth summary with `buckets` buckets from the sketch's
+    /// quantiles — the bridge from streaming peers to probe replies.
+    pub fn to_equidepth(&self, buckets: usize) -> EquiDepthSummary {
+        if self.count == 0 {
+            return EquiDepthSummary::empty();
+        }
+        let b = buckets.max(1).min(self.count as usize);
+        // Approximate sorted data by its b+1 quantile points, then weight the
+        // buckets evenly — exactly what an equi-depth summary means.
+        let mut approx_sorted = Vec::with_capacity(b + 1);
+        for i in 0..=b {
+            let q = i as f64 / b as f64;
+            approx_sorted.push(self.quantile(q).expect("nonempty"));
+        }
+        // Represent each bucket by interpolating n/b items between its
+        // boundaries; from_sorted on the boundary multiset reproduces the
+        // boundaries with even counts.
+        EquiDepthSummary::from_quantiles(&approx_sorted, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rank_of(sorted: &[f64], v: f64) -> usize {
+        sorted.partition_point(|&x| x <= v)
+    }
+
+    #[test]
+    fn quantiles_within_epsilon() {
+        let eps = 0.01;
+        let n = 20_000;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sketch = GkSketch::new(eps);
+        let mut data: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 1000.0).collect();
+        for &x in &data {
+            sketch.insert(x);
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = sketch.quantile(q).unwrap();
+            let r = rank_of(&data, est) as f64;
+            let target = q * n as f64;
+            assert!(
+                (r - target).abs() <= 2.0 * eps * n as f64 + 1.0,
+                "q={q}: rank {r} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut sketch = GkSketch::new(0.01);
+        for i in 0..50_000 {
+            sketch.insert((i as f64).sin() * 100.0);
+        }
+        assert!(sketch.size() < 2_000, "size = {}", sketch.size());
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted_streams() {
+        for reverse in [false, true] {
+            let mut sketch = GkSketch::new(0.02);
+            let n = 10_000;
+            for i in 0..n {
+                let v = if reverse { (n - i) as f64 } else { i as f64 };
+                sketch.insert(v);
+            }
+            let med = sketch.quantile(0.5).unwrap();
+            assert!(
+                (med - n as f64 / 2.0).abs() <= 2.0 * 0.02 * n as f64 + 1.0,
+                "median {med} (reverse={reverse})"
+            );
+        }
+    }
+
+    #[test]
+    fn min_and_max_are_exact() {
+        let mut sketch = GkSketch::new(0.05);
+        let vals = [5.0, -3.0, 7.5, 0.0, 100.0, -50.0, 2.0];
+        for &v in &vals {
+            sketch.insert(v);
+        }
+        assert_eq!(sketch.quantile(0.0).unwrap(), -50.0);
+        assert_eq!(sketch.quantile(1.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn empty_sketch_returns_none() {
+        let sketch = GkSketch::new(0.1);
+        assert!(sketch.quantile(0.5).is_none());
+        assert_eq!(sketch.count(), 0);
+    }
+
+    #[test]
+    fn equidepth_bridge_roughly_uniform() {
+        let mut sketch = GkSketch::new(0.01);
+        let n = 10_000u64;
+        for i in 0..n {
+            sketch.insert(i as f64);
+        }
+        let s = sketch.to_equidepth(8);
+        assert_eq!(s.total(), n);
+        // Median of the summary should be near n/2.
+        let med = s.quantile(0.5).unwrap();
+        assert!((med - n as f64 / 2.0).abs() < 0.05 * n as f64, "median {med}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Gaussian kernel density estimation.
+//!
+//! Phase 2 of the paper's estimator produces unbiased samples of the global
+//! distribution; KDE turns those samples into a smooth density. We implement
+//! the standard Gaussian-kernel estimator with Silverman's and Scott's
+//! bandwidth rules, plus an exact kernel CDF (via `erf`) so the estimate can
+//! be scored with the same CDF metrics as everything else.
+
+use crate::dist::erf;
+use crate::CdfFn;
+
+/// Bandwidth selection rule for [`Kde`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bandwidth {
+    /// Silverman's rule of thumb: `0.9·min(σ̂, IQR/1.34)·n^(-1/5)`.
+    Silverman,
+    /// Scott's rule: `1.06·σ̂·n^(-1/5)`.
+    Scott,
+    /// A fixed bandwidth.
+    Fixed(f64),
+}
+
+/// A Gaussian kernel density estimate over a bounded evaluation domain.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+    domain: (f64, f64),
+}
+
+impl Kde {
+    /// Fits a KDE to `samples`, evaluated over `domain`.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty, contains NaN, or the selected bandwidth
+    /// degenerates to 0 (all samples identical with a rule-based bandwidth —
+    /// use `Bandwidth::Fixed` in that case).
+    pub fn fit(mut samples: Vec<f64>, bandwidth: Bandwidth, domain: (f64, f64)) -> Self {
+        assert!(!samples.is_empty(), "KDE of an empty sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "KDE sample contains NaN");
+        assert!(domain.0 < domain.1, "bad domain [{}, {}]", domain.0, domain.1);
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        let h = match bandwidth {
+            Bandwidth::Fixed(h) => h,
+            rule => {
+                let n = samples.len() as f64;
+                let mean = samples.iter().sum::<f64>() / n;
+                let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n.max(2.0);
+                let sigma = var.sqrt();
+                let spread = match rule {
+                    Bandwidth::Silverman => {
+                        let q1 = quantile_sorted(&samples, 0.25);
+                        let q3 = quantile_sorted(&samples, 0.75);
+                        let iqr = (q3 - q1) / 1.34;
+                        let s = if iqr > 0.0 { sigma.min(iqr) } else { sigma };
+                        0.9 * s
+                    }
+                    Bandwidth::Scott => 1.06 * sigma,
+                    Bandwidth::Fixed(_) => unreachable!(),
+                };
+                spread * n.powf(-0.2)
+            }
+        };
+        assert!(h > 0.0, "degenerate bandwidth {h}; use Bandwidth::Fixed");
+        Self { samples, bandwidth: h, domain }
+    }
+
+    /// The selected bandwidth.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the KDE has no samples (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Density at `x`: `(1/nh)·Σ φ((x-xᵢ)/h)`.
+    ///
+    /// Kernels further than 8 bandwidths away contribute < 1e-15 and are
+    /// skipped via a sorted-window cut, making evaluation `O(log n + w)`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let lo = x - 8.0 * h;
+        let hi = x + 8.0 * h;
+        let a = self.samples.partition_point(|&v| v < lo);
+        let b = self.samples.partition_point(|&v| v <= hi);
+        let norm = 1.0 / (self.samples.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.samples[a..b]
+            .iter()
+            .map(|&xi| {
+                let z = (x - xi) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+}
+
+impl CdfFn for Kde {
+    /// CDF of the estimate: `(1/n)·Σ Φ((x-xᵢ)/h)`, exact via `erf`.
+    fn cdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let sqrt2h = std::f64::consts::SQRT_2 * h;
+        // Samples far below x contribute Φ≈1; far above contribute Φ≈0.
+        let lo = x - 8.0 * h;
+        let hi = x + 8.0 * h;
+        let a = self.samples.partition_point(|&v| v < lo);
+        let b = self.samples.partition_point(|&v| v <= hi);
+        let sum: f64 = a as f64
+            + self.samples[a..b]
+                .iter()
+                .map(|&xi| 0.5 * (1.0 + erf((x - xi) / sqrt2h)))
+                .sum::<f64>();
+        (sum / self.samples.len() as f64).clamp(0.0, 1.0)
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+}
+
+/// Quantile of a sorted slice by linear interpolation.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < n {
+        sorted[i] * (1.0 - frac) + sorted[i + 1] * frac
+    } else {
+        sorted[n - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal, Normal as NormalDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = NormalDist::new(0.0, 1.0);
+        let samples: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+        let kde = Kde::fit(samples, Bandwidth::Silverman, (-6.0, 6.0));
+        let n = 600;
+        let (lo, hi) = kde.domain();
+        let step = (hi - lo) / n as f64;
+        let integral: f64 = (0..n).map(|i| kde.pdf(lo + (i as f64 + 0.5) * step) * step).sum();
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn recovers_normal_density_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = NormalDist::new(10.0, 2.0);
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let kde = Kde::fit(samples, Bandwidth::Silverman, (0.0, 20.0));
+        // KDE smoothing bias grows in the tails, so the tolerance widens away
+        // from the mode.
+        for (x, tol) in [(8.0, 0.15), (10.0, 0.15), (12.0, 0.15), (6.0, 0.5), (14.0, 0.5)] {
+            let rel = (kde.pdf(x) - d.pdf(x)).abs() / d.pdf(x);
+            assert!(rel < tol, "x={x}: kde={} true={}", kde.pdf(x), d.pdf(x));
+        }
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let samples = vec![1.0, 2.0, 2.0, 3.0, 10.0];
+        let kde = Kde::fit(samples, Bandwidth::Scott, (0.0, 12.0));
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let x = i as f64 * 0.12;
+            let c = kde.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c + 1e-12 >= prev, "not monotone at {x}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn fixed_bandwidth_respected() {
+        let kde = Kde::fit(vec![5.0; 10], Bandwidth::Fixed(0.5), (0.0, 10.0));
+        assert_eq!(kde.bandwidth(), 0.5);
+        // Peak at the atom.
+        assert!(kde.pdf(5.0) > kde.pdf(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate bandwidth")]
+    fn degenerate_rule_bandwidth_panics() {
+        Kde::fit(vec![5.0; 10], Bandwidth::Silverman, (0.0, 10.0));
+    }
+
+    #[test]
+    fn window_cut_matches_full_sum() {
+        // pdf with the 8h window must equal the naive full sum.
+        let samples: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let kde = Kde::fit(samples.clone(), Bandwidth::Fixed(0.2), (0.0, 10.0));
+        let x = 5.0;
+        let h = 0.2;
+        let naive: f64 = samples
+            .iter()
+            .map(|&xi| {
+                let z: f64 = (x - xi) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            / (samples.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((kde.pdf(x) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_helper_consistency() {
+        // Normal::cdf and the KDE kernel CDF share erf; sanity-check they agree.
+        let n = Normal::new(0.0, 1.0);
+        let kde = Kde::fit(vec![0.0], Bandwidth::Fixed(1.0), (-8.0, 8.0));
+        for x in [-2.0, -0.5, 0.0, 1.0, 2.5] {
+            assert!((kde.cdf(x) - n.cdf(x)).abs() < 1e-12);
+        }
+    }
+}

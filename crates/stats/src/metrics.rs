@@ -1,0 +1,165 @@
+//! Distance metrics between distributions.
+//!
+//! Every experiment reports estimation error through these: the
+//! Kolmogorov–Smirnov statistic on CDFs (the headline accuracy number),
+//! integrated L1/L2 density error, the 1-D Wasserstein (earth mover's)
+//! distance, and χ² on histograms.
+
+use crate::histogram::Histogram;
+use crate::CdfFn;
+
+/// Default grid resolution for numeric metrics.
+pub const DEFAULT_GRID: usize = 2048;
+
+/// Kolmogorov–Smirnov distance `sup_x |F(x) − G(x)|`, evaluated on a uniform
+/// grid of `grid + 1` points over the union of both domains.
+pub fn ks_distance<A: CdfFn + ?Sized, B: CdfFn + ?Sized>(a: &A, b: &B, grid: usize) -> f64 {
+    let (lo, hi) = union_domain(a, b);
+    let mut d: f64 = 0.0;
+    for i in 0..=grid {
+        let x = lo + (hi - lo) * i as f64 / grid as f64;
+        d = d.max((a.cdf(x) - b.cdf(x)).abs());
+    }
+    d
+}
+
+/// 1-D Wasserstein-1 distance `∫ |F(x) − G(x)| dx` by the trapezoid rule.
+pub fn wasserstein1<A: CdfFn + ?Sized, B: CdfFn + ?Sized>(a: &A, b: &B, grid: usize) -> f64 {
+    let (lo, hi) = union_domain(a, b);
+    let step = (hi - lo) / grid as f64;
+    let mut sum = 0.0;
+    let mut prev = (a.cdf(lo) - b.cdf(lo)).abs();
+    for i in 1..=grid {
+        let x = lo + step * i as f64;
+        let cur = (a.cdf(x) - b.cdf(x)).abs();
+        sum += 0.5 * (prev + cur) * step;
+        prev = cur;
+    }
+    sum
+}
+
+/// Integrated absolute density error `∫ |f(x) − g(x)| dx ∈ [0, 2]`, where
+/// both densities are supplied as closures (so histogram densities, KDE
+/// densities, and analytic PDFs all fit).
+pub fn l1_density_error(
+    f: impl Fn(f64) -> f64,
+    g: impl Fn(f64) -> f64,
+    domain: (f64, f64),
+    grid: usize,
+) -> f64 {
+    let (lo, hi) = domain;
+    let step = (hi - lo) / grid as f64;
+    (0..grid)
+        .map(|i| {
+            let x = lo + (i as f64 + 0.5) * step;
+            (f(x) - g(x)).abs() * step
+        })
+        .sum()
+}
+
+/// Integrated squared density error `∫ (f(x) − g(x))² dx`.
+pub fn l2_density_error(
+    f: impl Fn(f64) -> f64,
+    g: impl Fn(f64) -> f64,
+    domain: (f64, f64),
+    grid: usize,
+) -> f64 {
+    let (lo, hi) = domain;
+    let step = (hi - lo) / grid as f64;
+    (0..grid)
+        .map(|i| {
+            let x = lo + (i as f64 + 0.5) * step;
+            (f(x) - g(x)).powi(2) * step
+        })
+        .sum()
+}
+
+/// χ² divergence between two histograms with matching shape, on normalized
+/// masses: `Σ (pᵢ − qᵢ)² / qᵢ` over bins where `qᵢ > 0`.
+///
+/// # Panics
+/// Panics if the histograms have different bin counts.
+pub fn chi_squared(p: &Histogram, q: &Histogram) -> f64 {
+    assert_eq!(p.bins(), q.bins(), "bin count mismatch");
+    let pn = p.normalized();
+    let qn = q.normalized();
+    (0..p.bins())
+        .filter(|&i| qn.mass(i) > 0.0)
+        .map(|i| (pn.mass(i) - qn.mass(i)).powi(2) / qn.mass(i))
+        .sum()
+}
+
+/// Relative error `|est − truth| / truth` (`truth != 0`).
+pub fn relative_error(est: f64, truth: f64) -> f64 {
+    debug_assert!(truth != 0.0);
+    (est - truth).abs() / truth.abs()
+}
+
+fn union_domain<A: CdfFn + ?Sized, B: CdfFn + ?Sized>(a: &A, b: &B) -> (f64, f64) {
+    let (alo, ahi) = a.domain();
+    let (blo, bhi) = b.domain();
+    (alo.min(blo), ahi.max(bhi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal, Truncated, Uniform};
+
+    #[test]
+    fn ks_of_identical_is_zero() {
+        let u = Uniform::new(0.0, 1.0);
+        assert_eq!(ks_distance(&u, &u, 256), 0.0);
+    }
+
+    #[test]
+    fn ks_of_shifted_uniforms() {
+        // U(0,1) vs U(0.5,1.5): max CDF gap is 0.5 at x ∈ {0.5, 1.0}.
+        let a = Uniform::new(0.0, 1.0);
+        let b = Uniform::new(0.5, 1.5);
+        let d = ks_distance(&a, &b, 1024);
+        assert!((d - 0.5).abs() < 1e-3, "d = {d}");
+    }
+
+    #[test]
+    fn wasserstein_of_shifted_uniforms_is_shift() {
+        let a = Uniform::new(0.0, 1.0);
+        let b = Uniform::new(0.25, 1.25);
+        let w = wasserstein1(&a, &b, 4096);
+        assert!((w - 0.25).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn l1_error_of_disjoint_densities_is_two() {
+        let a = Uniform::new(0.0, 1.0);
+        let b = Uniform::new(2.0, 3.0);
+        let err = l1_density_error(|x| a.pdf(x), |x| b.pdf(x), (0.0, 3.0), 4096);
+        assert!((err - 2.0).abs() < 1e-2, "err = {err}");
+    }
+
+    #[test]
+    fn l2_error_zero_for_identical() {
+        let n = Truncated::new(Normal::new(0.5, 0.1), 0.0, 1.0);
+        let err = l2_density_error(|x| n.pdf(x), |x| n.pdf(x), (0.0, 1.0), 512);
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn chi_squared_zero_for_identical() {
+        let h = Histogram::from_samples(0.0, 1.0, 8, &[0.1, 0.2, 0.7, 0.9]);
+        assert_eq!(chi_squared(&h, &h), 0.0);
+    }
+
+    #[test]
+    fn chi_squared_detects_shift() {
+        let p = Histogram::from_samples(0.0, 1.0, 4, &[0.1, 0.1, 0.1]);
+        let q = Histogram::from_samples(0.0, 1.0, 4, &[0.9, 0.9, 0.9]);
+        assert!(chi_squared(&p, &q) > 0.5);
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error(110.0, 100.0), 0.1);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+    }
+}

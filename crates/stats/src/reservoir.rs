@@ -1,0 +1,159 @@
+//! Reservoir sampling (Vitter's Algorithm R) with weighted merge.
+//!
+//! Used by the random-walk baseline to keep a bounded uniform sample of the
+//! tuples observed along a walk, and by peers to answer "give me one uniform
+//! local tuple" requests.
+
+use rand::Rng;
+
+/// A fixed-capacity uniform sample of a stream.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    items: Vec<f64>,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self { capacity, seen: 0, items: Vec::with_capacity(capacity) }
+    }
+
+    /// Offers one stream item.
+    pub fn offer<R: Rng + ?Sized>(&mut self, x: f64, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(x);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = x;
+            }
+        }
+    }
+
+    /// Offers every item of a slice.
+    pub fn extend<R: Rng + ?Sized>(&mut self, xs: &[f64], rng: &mut R) {
+        for &x in xs {
+            self.offer(x, rng);
+        }
+    }
+
+    /// The current sample.
+    pub fn items(&self) -> &[f64] {
+        &self.items
+    }
+
+    /// Total stream length observed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<f64> {
+        self.items
+    }
+
+    /// Merges another reservoir into this one such that the result is a
+    /// uniform sample of the union stream (weighted coin per slot).
+    pub fn merge<R: Rng + ?Sized>(&mut self, other: &Reservoir, rng: &mut R) {
+        let total = self.seen + other.seen;
+        if total == 0 {
+            return;
+        }
+        let p_other = other.seen as f64 / total as f64;
+        let mut merged = Vec::with_capacity(self.capacity);
+        let take = self.capacity.min(self.items.len() + other.items.len());
+        let mut a = self.items.clone();
+        let mut b = other.items.clone();
+        for _ in 0..take {
+            let from_other = !b.is_empty() && (a.is_empty() || rng.gen::<f64>() < p_other);
+            let src = if from_other { &mut b } else { &mut a };
+            let idx = rng.gen_range(0..src.len());
+            merged.push(src.swap_remove(idx));
+        }
+        self.items = merged;
+        self.seen = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_to_capacity() {
+        let mut r = Reservoir::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        r.extend(&[1.0, 2.0, 3.0], &mut rng);
+        assert_eq!(r.items().len(), 3);
+        r.extend(&[4.0, 5.0, 6.0, 7.0], &mut rng);
+        assert_eq!(r.items().len(), 5);
+        assert_eq!(r.seen(), 7);
+    }
+
+    #[test]
+    fn sample_is_approximately_uniform() {
+        // Each of 100 items should land in a 10-slot reservoir ~10% of runs.
+        let mut hits = vec![0u32; 100];
+        for seed in 0..2000 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Reservoir::new(10);
+            for i in 0..100 {
+                r.offer(i as f64, &mut rng);
+            }
+            for &x in r.items() {
+                hits[x as usize] += 1;
+            }
+        }
+        // Expected 200 hits per item; allow generous tolerance.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((120..=280).contains(&h), "item {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn merge_preserves_total_seen() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = Reservoir::new(8);
+        let mut b = Reservoir::new(8);
+        a.extend(&(0..20).map(f64::from).collect::<Vec<_>>(), &mut rng);
+        b.extend(&(100..140).map(f64::from).collect::<Vec<_>>(), &mut rng);
+        a.merge(&b, &mut rng);
+        assert_eq!(a.seen(), 60);
+        assert_eq!(a.items().len(), 8);
+    }
+
+    #[test]
+    fn merge_weights_toward_longer_stream() {
+        // Merging a 10-item stream with a 990-item stream should yield a
+        // sample dominated by the longer stream.
+        let mut from_long = 0usize;
+        let mut total = 0usize;
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut a = Reservoir::new(10);
+            let mut b = Reservoir::new(10);
+            a.extend(&[0.0; 10], &mut rng);
+            b.extend(&[1.0; 990], &mut rng);
+            a.merge(&b, &mut rng);
+            from_long += a.items().iter().filter(|&&x| x == 1.0).count();
+            total += a.items().len();
+        }
+        let frac = from_long as f64 / total as f64;
+        assert!(frac > 0.9, "long-stream fraction = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        Reservoir::new(0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Full-lifecycle churn integration: the network endures joins, graceful
+//! leaves, and crashes while estimation keeps working; stabilization repairs
+//! the ring; data handoff preserves graceful movers' data.
+
+use dde_core::{DensityEstimator, DfDde, DfDdeConfig};
+use dde_ring::{ChurnConfig, ChurnProcess, RingId};
+use dde_sim::{build, Scenario};
+use dde_stats::rng::{Component, SeedSequence};
+use dde_stats::Ecdf;
+use rand::Rng;
+
+fn scenario() -> Scenario {
+    Scenario::default().with_peers(192).with_items(25_000).with_seed(53)
+}
+
+#[test]
+fn graceful_only_churn_loses_no_data() {
+    let mut built = build(&scenario());
+    let seq = SeedSequence::new(99);
+    let mut rng = seq.stream(Component::Churn, 0);
+    let cfg = ChurnConfig { join_rate: 0.1, leave_rate: 0.1, fail_rate: 0.0, stabilize_period: 0.5 };
+    let mut churn = ChurnProcess::new(cfg);
+    let before = built.net.total_items();
+    let outcome = churn.run(&mut built.net, 15.0, &mut rng);
+    assert!(outcome.joins > 50, "{outcome:?}");
+    assert!(outcome.leaves > 50, "{outcome:?}");
+    assert_eq!(built.net.total_items(), before, "graceful churn must not lose items");
+}
+
+#[test]
+fn crashes_lose_only_the_crashed_arcs() {
+    let mut built = build(&scenario());
+    let seq = SeedSequence::new(101);
+    let mut rng = seq.stream(Component::Churn, 0);
+    let cfg = ChurnConfig { join_rate: 0.0, leave_rate: 0.0, fail_rate: 0.05, stabilize_period: 0.5 };
+    let mut churn = ChurnProcess::new(cfg);
+    let before = built.net.total_items();
+    let outcome = churn.run(&mut built.net, 5.0, &mut rng);
+    let after = built.net.total_items();
+    assert!(outcome.fails > 10, "{outcome:?}");
+    assert!(after < before, "crashes must lose data");
+    // Loss proportional-ish to crashed fraction (generous bounds: arcs vary).
+    let lost_frac = 1.0 - after as f64 / before as f64;
+    let crash_frac = outcome.fails as f64 / (192 + outcome.fails) as f64;
+    assert!(
+        lost_frac < crash_frac * 4.0 + 0.05,
+        "lost {lost_frac:.3} vs crashed {crash_frac:.3}"
+    );
+}
+
+#[test]
+fn ring_heals_and_estimation_recovers_after_storm() {
+    let mut built = build(&scenario());
+    let seq = SeedSequence::new(103);
+    let mut churn_rng = seq.stream(Component::Churn, 0);
+    let mut est_rng = seq.stream(Component::Estimator, 0);
+
+    // A violent storm with *no* stabilization budget during it.
+    let cfg = ChurnConfig { join_rate: 0.3, leave_rate: 0.15, fail_rate: 0.15, stabilize_period: 5.0 };
+    let mut churn = ChurnProcess::new(cfg);
+    churn.run(&mut built.net, 4.0, &mut churn_rng);
+
+    // Then the network settles. Healing a storm-created segment of nodes
+    // that nobody routes to is O(segment length) rounds in Chord (each
+    // notify chain extends one peer per round), so allow a realistic budget
+    // and stop early once quiet.
+    for _ in 0..40 {
+        if built.net.stabilize_round() == 0 {
+            break;
+        }
+    }
+    // Full heal: routing state AND data placement consistent (stabilization
+    // includes the data-repair pass, so no "item" violations either).
+    let violations = built.net.check_invariants();
+    assert!(violations.is_empty(), "ring did not heal: {violations:?}");
+
+    // Estimation on the healed ring matches the surviving data. The storm
+    // crashed contiguous value ranges out of existence, so the surviving
+    // CDF has sharp shelves — harder than any smooth distribution.
+    let initiator = built.net.random_peer(&mut est_rng).unwrap();
+    let report = DfDde::new(DfDdeConfig::with_probes(128))
+        .estimate(&mut built.net, initiator, &mut est_rng)
+        .expect("healed network estimates");
+    let surviving = Ecdf::new(built.net.global_values());
+    let ks = report.estimate.ks_to(&surviving);
+    assert!(ks < 0.2, "post-heal estimate off: ks = {ks}");
+}
+
+#[test]
+fn lookups_remain_correct_during_sustained_churn() {
+    let mut built = build(&scenario());
+    let seq = SeedSequence::new(107);
+    let mut churn_rng = seq.stream(Component::Churn, 0);
+    let mut rng = seq.stream(Component::Workload, 0);
+    let mut churn = ChurnProcess::new(ChurnConfig::symmetric(0.1, 0.5));
+
+    let mut ok = 0u32;
+    let mut total = 0u32;
+    for _ in 0..10 {
+        churn.run(&mut built.net, 1.0, &mut churn_rng);
+        let from = built.net.random_peer(&mut rng).unwrap();
+        for _ in 0..20 {
+            let target = RingId(rng.gen());
+            total += 1;
+            if let Ok(res) = built.net.lookup(from, target) {
+                assert!(built.net.is_alive(res.owner));
+                ok += 1;
+            }
+        }
+    }
+    assert!(
+        f64::from(ok) / f64::from(total) > 0.97,
+        "only {ok}/{total} lookups succeeded under churn"
+    );
+}

@@ -1,0 +1,110 @@
+//! Message-accounting invariants across the stack: every estimator charges
+//! all (and only) its own traffic, costs scale as designed, and the counters
+//! are exact enough to base the paper's efficiency claims on.
+
+use dde_core::{
+    DensityEstimator, DfDde, DfDdeConfig, ExactAggregation, GossipAggregation, GossipConfig,
+    RandomWalkConfig, RandomWalkSampling, SampleMode,
+};
+use dde_ring::MessageKind;
+use dde_sim::{build, run_estimator, Scenario};
+
+fn scenario(peers: usize) -> Scenario {
+    Scenario::default().with_peers(peers).with_items(10_000).with_seed(61)
+}
+
+#[test]
+fn dfdde_cost_is_k_probes_plus_routing() {
+    let mut built = build(&scenario(256));
+    // Exactly 50 probe request/reply pairs…
+    let seq = dde_stats::rng::SeedSequence::new(61);
+    let mut rng = seq.stream(dde_stats::rng::Component::Estimator, 5);
+    let initiator = built.net.random_peer(&mut rng).unwrap();
+    let report = DfDde::new(DfDdeConfig::with_probes(50))
+        .estimate(&mut built.net, initiator, &mut rng)
+        .unwrap();
+    assert_eq!(report.cost.count(MessageKind::Probe), 50);
+    assert_eq!(report.cost.count(MessageKind::ProbeReply), 50);
+    // …plus routing: ~log2(256)/2 hops per probe, 2 msgs per hop.
+    let hops = report.cost.count(MessageKind::LookupHop);
+    assert!(hops >= 50, "implausibly few routing messages: {hops}");
+    assert!(hops <= 50 * 2 * 16, "routing exploded: {hops}");
+    // Nothing else was charged.
+    assert_eq!(report.cost.count(MessageKind::Gossip), 0);
+    assert_eq!(report.cost.count(MessageKind::WalkStep), 0);
+    assert_eq!(report.cost.count(MessageKind::Handoff), 0);
+}
+
+#[test]
+fn remote_sampling_charges_tuple_traffic() {
+    let mut built = build(&scenario(128));
+    let seq = dde_stats::rng::SeedSequence::new(61);
+    let mut rng = seq.stream(dde_stats::rng::Component::Estimator, 6);
+    let initiator = built.net.random_peer(&mut rng).unwrap();
+    let report = DfDde::new(DfDdeConfig {
+        sample_mode: SampleMode::RemoteTuples { m: 40 },
+        ..DfDdeConfig::with_probes(32)
+    })
+    .estimate(&mut built.net, initiator, &mut rng)
+    .unwrap();
+    assert_eq!(report.cost.count(MessageKind::TupleSample), 80); // 40 req + 40 reply
+}
+
+#[test]
+fn exact_walk_scales_linearly_with_network() {
+    let mut msgs = Vec::new();
+    for p in [64usize, 256] {
+        let mut built = build(&scenario(p));
+        let r = run_estimator(&mut built, &ExactAggregation::new(), 0).unwrap();
+        msgs.push((p, r.messages));
+        assert_eq!(r.peers_contacted, p);
+    }
+    let (p0, m0) = msgs[0];
+    let (p1, m1) = msgs[1];
+    let ratio = m1 as f64 / m0 as f64;
+    let p_ratio = p1 as f64 / p0 as f64;
+    assert!(
+        (ratio / p_ratio - 1.0).abs() < 0.2,
+        "walk cost should scale with P: {msgs:?}"
+    );
+}
+
+#[test]
+fn gossip_cost_is_rounds_times_peers_exactly() {
+    let mut built = build(&scenario(96));
+    let seq = dde_stats::rng::SeedSequence::new(61);
+    let mut rng = seq.stream(dde_stats::rng::Component::Estimator, 7);
+    let initiator = built.net.random_peer(&mut rng).unwrap();
+    let report = GossipAggregation::new(GossipConfig { rounds: 7, bins: 16 })
+        .estimate(&mut built.net, initiator, &mut rng)
+        .unwrap();
+    assert_eq!(report.cost.count(MessageKind::Gossip), 7 * 96);
+    // Gossip bytes dominated by histograms: ≥ bins · 8 bytes per message.
+    assert!(report.bytes() as usize >= 7 * 96 * 16 * 8);
+}
+
+#[test]
+fn walk_cost_is_steps_exactly() {
+    let mut built = build(&scenario(128));
+    let cfg = RandomWalkConfig { peers: 10, burn_in: 20, gap: 5, ..RandomWalkConfig::default() };
+    let seq = dde_stats::rng::SeedSequence::new(61);
+    let mut rng = seq.stream(dde_stats::rng::Component::Estimator, 8);
+    let initiator = built.net.random_peer(&mut rng).unwrap();
+    let report = RandomWalkSampling::new(cfg)
+        .estimate(&mut built.net, initiator, &mut rng)
+        .unwrap();
+    assert_eq!(report.cost.count(MessageKind::WalkStep), 2 * (20 + 10 * 5));
+    assert_eq!(report.cost.count(MessageKind::Probe), 10);
+}
+
+#[test]
+fn run_cost_deltas_do_not_leak_between_runs() {
+    let mut built = build(&scenario(128));
+    let a = run_estimator(&mut built, &DfDde::new(DfDdeConfig::with_probes(16)), 0).unwrap();
+    let b = run_estimator(&mut built, &DfDde::new(DfDdeConfig::with_probes(16)), 1).unwrap();
+    // Deltas are per-run: the second run's count is independent of the first.
+    assert!(a.messages > 0 && b.messages > 0);
+    assert!((a.messages as f64 / b.messages as f64 - 1.0).abs() < 0.5);
+    // The network's cumulative counter saw both runs.
+    assert!(built.net.stats().total_messages() >= a.messages + b.messages);
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration: every estimator against every distribution and
+//! placement mode, verifying the whole stack (stats → ring → core → sim)
+//! produces sane estimates with consistent metadata.
+
+use dde_core::{
+    DensityEstimator, DfDde, DfDdeConfig, ExactAggregation, GossipAggregation, GossipConfig,
+    RandomWalkConfig, RandomWalkSampling, SampleMode, UniformPeerConfig, UniformPeerSampling,
+};
+use dde_sim::{build, run_estimator, PlacementMode, Scenario};
+use dde_stats::dist::DistributionKind;
+
+fn estimators() -> Vec<Box<dyn DensityEstimator>> {
+    vec![
+        Box::new(DfDde::new(DfDdeConfig::with_probes(64))),
+        Box::new(DfDde::new(DfDdeConfig {
+            sample_mode: SampleMode::RemoteTuples { m: 50 },
+            ..DfDdeConfig::with_probes(64)
+        })),
+        Box::new(ExactAggregation::new()),
+        Box::new(UniformPeerSampling::new(UniformPeerConfig {
+            peers: 64,
+            ..UniformPeerConfig::default()
+        })),
+        Box::new(RandomWalkSampling::new(RandomWalkConfig {
+            peers: 32,
+            ..RandomWalkConfig::default()
+        })),
+        Box::new(GossipAggregation::new(GossipConfig { rounds: 20, bins: 32 })),
+    ]
+}
+
+#[test]
+fn every_estimator_runs_on_every_distribution() {
+    for kind in DistributionKind::standard_suite() {
+        let scenario = Scenario::default()
+            .with_peers(96)
+            .with_items(8_000)
+            .with_distribution(kind.clone())
+            .with_seed(17);
+        let mut built = build(&scenario);
+        for est in estimators() {
+            let r = run_estimator(&mut built, est.as_ref(), 0)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", est.name(), kind.label()));
+            // Estimates must at least be a valid CDF that beats a coin flip.
+            assert!(
+                r.ks_vs_generator <= 1.0,
+                "{} on {}: ks out of range",
+                est.name(),
+                kind.label()
+            );
+            assert!(r.messages > 0, "{} charged no messages", est.name());
+            assert_eq!(r.n_true, 8_000);
+        }
+    }
+}
+
+#[test]
+fn both_placements_work() {
+    for placement in [PlacementMode::Range, PlacementMode::Hashed] {
+        let scenario = Scenario::default()
+            .with_peers(128)
+            .with_items(20_000)
+            .with_placement(placement)
+            .with_seed(23);
+        let mut built = build(&scenario);
+        let r = run_estimator(&mut built, &DfDde::new(DfDdeConfig::with_probes(96)), 0).unwrap();
+        assert!(
+            r.ks_vs_data < 0.2,
+            "df-dde under {placement:?}: ks = {}",
+            r.ks_vs_data
+        );
+    }
+}
+
+#[test]
+fn remote_sampling_returns_genuine_tuples_end_to_end() {
+    let scenario = Scenario::default().with_peers(96).with_items(10_000).with_seed(31);
+    let mut built = build(&scenario);
+    let stored: std::collections::BTreeSet<u64> =
+        built.net.global_values().iter().map(|v| v.to_bits()).collect();
+    let est = DfDde::new(DfDdeConfig {
+        sample_mode: SampleMode::RemoteTuples { m: 100 },
+        ..DfDdeConfig::with_probes(64)
+    });
+    let seq = dde_stats::rng::SeedSequence::new(scenario.seed);
+    let mut rng = seq.stream(dde_stats::rng::Component::Estimator, 0);
+    let initiator = built.net.random_peer(&mut rng).unwrap();
+    let report = est.estimate(&mut built.net, initiator, &mut rng).unwrap();
+    assert!(report.estimate.samples().len() >= 80);
+    for s in report.estimate.samples() {
+        assert!(stored.contains(&s.to_bits()), "{s} is not stored anywhere");
+    }
+}
+
+#[test]
+fn estimate_supports_all_query_shapes() {
+    let scenario = Scenario::default().with_peers(96).with_items(20_000).with_seed(37);
+    let mut built = build(&scenario);
+    let r = run_estimator(&mut built, &DfDde::new(DfDdeConfig::with_probes(96)), 0).unwrap();
+    let _ = r; // metrics checked elsewhere; here we exercise the API surface
+    let seq = dde_stats::rng::SeedSequence::new(scenario.seed);
+    let mut rng = seq.stream(dde_stats::rng::Component::Estimator, 1);
+    let initiator = built.net.random_peer(&mut rng).unwrap();
+    let report = DfDde::new(DfDdeConfig::with_probes(96))
+        .estimate(&mut built.net, initiator, &mut rng)
+        .unwrap();
+    let est = &report.estimate;
+
+    // CDF is monotone over the domain.
+    let (lo, hi) = scenario.domain;
+    let mut prev = -1.0;
+    for i in 0..=100 {
+        let x = lo + (hi - lo) * i as f64 / 100.0;
+        let c = est.cdf(x);
+        assert!((0.0..=1.0).contains(&c));
+        assert!(c + 1e-12 >= prev);
+        prev = c;
+    }
+    // Quantiles invert the CDF.
+    for q in [0.1, 0.5, 0.9] {
+        let x = est.quantile(q);
+        assert!((est.cdf(x) - q).abs() < 0.02, "quantile({q}) -> cdf {}", est.cdf(x));
+    }
+    // Histogram masses sum to 1; KDE integrates to ~1.
+    let h = est.to_histogram(32);
+    assert!((h.total() - 1.0).abs() < 1e-9);
+    let kde = est.to_kde(500, &mut rng);
+    // Integrate over the kernel-extended support: samples at the domain edge
+    // leak kernel mass past [lo, hi] (standard KDE boundary behaviour).
+    let pad = 8.0 * kde.bandwidth();
+    let (ilo, ihi) = (lo - pad, hi + pad);
+    let step = (ihi - ilo) / 600.0;
+    let integral: f64 = (0..600).map(|i| kde.pdf(ilo + (i as f64 + 0.5) * step) * step).sum();
+    assert!((integral - 1.0).abs() < 0.05, "kde integral = {integral}");
+    // Synthesized samples stay inside the domain.
+    for s in est.synthesize_samples(200, &mut rng) {
+        assert!((lo..=hi).contains(&s));
+    }
+}
