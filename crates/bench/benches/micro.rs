@@ -58,9 +58,7 @@ fn store_ops(c: &mut Criterion) {
 fn equidepth_query(c: &mut Criterion) {
     let sorted: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
     let s = EquiDepthSummary::from_sorted(&sorted, 32);
-    c.bench_function("micro/equidepth_count_le", |b| {
-        b.iter(|| s.count_le(black_box(54_321.5)))
-    });
+    c.bench_function("micro/equidepth_count_le", |b| b.iter(|| s.count_le(black_box(54_321.5))));
 }
 
 fn gk_insert(c: &mut Criterion) {
@@ -112,9 +110,7 @@ fn metrics_ks(c: &mut Criterion) {
     let dist = Truncated::new(Normal::new(0.0, 1.0), -5.0, 5.0);
     let ecdf = Ecdf::new((0..10_000).map(|_| dist.sample(&mut rng)).collect());
     let pw = PiecewiseCdf::from_points(vec![(-5.0, 0.0), (0.0, 0.5), (5.0, 1.0)]);
-    c.bench_function("micro/ks_distance_2048", |b| {
-        b.iter(|| ks_distance(&ecdf, &pw, 2048))
-    });
+    c.bench_function("micro/ks_distance_2048", |b| b.iter(|| ks_distance(&ecdf, &pw, 2048)));
     // Keep the CdfFn import meaningfully used.
     assert!(pw.cdf(0.0) > 0.4);
 }

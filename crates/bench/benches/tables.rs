@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dde_core::skeleton::Weighting;
 use dde_core::{
-    AggregateEstimator, DensityEstimator, DfDde, DfDdeConfig, ExactAggregation,
-    GossipAggregation, GossipConfig, ProbeStrategy, UniformPeerConfig, UniformPeerSampling,
+    AggregateEstimator, DensityEstimator, DfDde, DfDdeConfig, ExactAggregation, GossipAggregation,
+    GossipConfig, ProbeStrategy, UniformPeerConfig, UniformPeerSampling,
 };
 use dde_sim::experiments::t1_defaults::default_scenario;
 use dde_sim::experiments::Scale;

@@ -1,9 +1,10 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::json::Json;
 use dde_core::{
-    AggregateEstimator, DensityEstimator, DfDde, DfDdeConfig, ExactAggregation,
-    GossipAggregation, GossipConfig, UniformPeerConfig, UniformPeerSampling,
+    AggregateEstimator, DensityEstimator, DfDde, DfDdeConfig, ExactAggregation, GossipAggregation,
+    GossipConfig, UniformPeerConfig, UniformPeerSampling,
 };
 use dde_ring::{ChurnConfig, ChurnProcess};
 use dde_sim::{build, BuiltScenario, PlacementMode, Scenario};
@@ -33,6 +34,8 @@ common options:
   --probes K       probe budget               (default 128)
   --buckets B      summary buckets            (default 8)
   --placement M    range|hashed               (default range)
+  --loss L         injected message-loss probability, reply loss L/2 (default 0)
+  --fault-seed S   fault-plan seed            (default seed ^ 0xFA17)
   --json           machine-readable output (estimate/aggregate)
 
 command-specific:
@@ -72,7 +75,17 @@ fn scenario_of(args: &Args) -> Result<Scenario, String> {
 
 fn setup(args: &Args) -> Result<(BuiltScenario, StdRng, dde_ring::RingId), String> {
     let scenario = scenario_of(args)?;
-    let built = build(&scenario);
+    let mut built = build(&scenario);
+    let loss = args.get_or("loss", 0.0f64)?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(format!("--loss must be in [0, 1], got {loss}"));
+    }
+    if loss > 0.0 {
+        let fault_seed = args.get_or("fault-seed", scenario.seed ^ 0xFA17)?;
+        built.net.set_fault_plan(
+            dde_ring::FaultPlan::new(fault_seed).with_loss(loss).with_reply_loss(loss / 2.0),
+        );
+    }
     let mut rng = SeedSequence::new(scenario.seed).stream(Component::Estimator, 0);
     let initiator = built.net.random_peer(&mut rng).ok_or("empty network")?;
     Ok((built, rng, initiator))
@@ -93,35 +106,36 @@ pub fn estimate(args: &Args) -> Result<(), String> {
         "gossip" => Box::new(GossipAggregation::new(GossipConfig::default())),
         other => return Err(format!("unknown method '{other}'")),
     };
-    let report = estimator
-        .estimate(&mut built.net, initiator, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let report =
+        estimator.estimate(&mut built.net, initiator, &mut rng).map_err(|e| e.to_string())?;
     let ks_gen = report.estimate.ks_to(built.truth.as_ref());
     let ks_data = report.estimate.ks_to(&built.data_ecdf);
 
     if args.has_flag("json") {
-        let quantiles: Vec<(f64, f64)> =
-            [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
-                .iter()
-                .map(|&q| (q, report.estimate.quantile(q)))
-                .collect();
-        let out = serde_json::json!({
-            "method": estimator.name(),
-            "peers": built.net.len(),
-            "items": built.net.total_items(),
-            "messages": report.messages(),
-            "bytes": report.bytes(),
-            "peers_contacted": report.peers_contacted,
-            "n_hat": report.estimated_total,
-            "ks_vs_generator": ks_gen,
-            "ks_vs_data": ks_data,
-            "mean": report.estimate.mean(),
-            "std_dev": report.estimate.std_dev(),
-            "entropy": report.estimate.entropy(),
-            "mode": report.estimate.mode(),
-            "quantiles": quantiles,
-        });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        let quantiles: Vec<Json> = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+            .iter()
+            .map(|&q| Json::Arr(vec![q.into(), report.estimate.quantile(q).into()]))
+            .collect();
+        let out = Json::obj(vec![
+            ("method", estimator.name().into()),
+            ("peers", built.net.len().into()),
+            ("items", built.net.total_items().into()),
+            ("messages", report.messages().into()),
+            ("bytes", report.bytes().into()),
+            ("peers_contacted", report.peers_contacted.into()),
+            ("probes_requested", report.probes_requested.into()),
+            ("probes_succeeded", report.probes_succeeded.into()),
+            ("faults_injected", report.cost.total_faults().into()),
+            ("n_hat", report.estimated_total.into()),
+            ("ks_vs_generator", ks_gen.into()),
+            ("ks_vs_data", ks_data.into()),
+            ("mean", report.estimate.mean().into()),
+            ("std_dev", report.estimate.std_dev().into()),
+            ("entropy", report.estimate.entropy().into()),
+            ("mode", report.estimate.mode().into()),
+            ("quantiles", Json::Arr(quantiles)),
+        ]);
+        println!("{}", out.pretty());
         return Ok(());
     }
 
@@ -134,6 +148,13 @@ pub fn estimate(args: &Args) -> Result<(), String> {
         report.bytes() as f64 / 1024.0,
         report.peers_contacted
     );
+    let faults = report.cost.total_faults();
+    if faults > 0 || report.probes_succeeded < report.probes_requested {
+        println!(
+            "faults: {faults} injected, {}/{} probes succeeded",
+            report.probes_succeeded, report.probes_requested
+        );
+    }
     if let Some(n) = report.estimated_total {
         println!("estimated item count: {n:.0}");
     }
@@ -168,20 +189,37 @@ pub fn aggregate(args: &Args) -> Result<(), String> {
     let var = vals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
 
     if args.has_flag("json") {
-        let out = serde_json::json!({
-            "estimated": {
-                "count": rep.count, "sum": rep.sum, "mean": rep.mean,
-                "variance": rep.variance, "std_dev": rep.std_dev(),
-            },
-            "exact": { "count": n, "sum": sum, "mean": mean, "variance": var },
-            "messages": rep.cost.total_messages(),
-            "probes_used": rep.probes_used,
-        });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        let out = Json::obj(vec![
+            (
+                "estimated",
+                Json::obj(vec![
+                    ("count", rep.count.into()),
+                    ("sum", rep.sum.into()),
+                    ("mean", rep.mean.into()),
+                    ("variance", rep.variance.into()),
+                    ("std_dev", rep.std_dev().into()),
+                ]),
+            ),
+            (
+                "exact",
+                Json::obj(vec![
+                    ("count", n.into()),
+                    ("sum", sum.into()),
+                    ("mean", mean.into()),
+                    ("variance", var.into()),
+                ]),
+            ),
+            ("messages", rep.cost.total_messages().into()),
+            ("probes_used", rep.probes_used.into()),
+        ]);
+        println!("{}", out.pretty());
         return Ok(());
     }
-    println!("aggregate estimates from {} probes ({} messages):", rep.probes_used,
-             rep.cost.total_messages());
+    println!(
+        "aggregate estimates from {} probes ({} messages):",
+        rep.probes_used,
+        rep.cost.total_messages()
+    );
     println!("  COUNT {:>14.0}   (exact {:>14.0})", rep.count, n);
     println!("  SUM   {:>14.0}   (exact {:>14.0})", rep.sum, sum);
     println!("  AVG   {:>14.3}   (exact {:>14.3})", rep.mean, mean);
@@ -233,9 +271,7 @@ pub fn churn(args: &Args) -> Result<(), String> {
     }
     let violations = built.net.check_invariants();
 
-    println!(
-        "churn {rate}/peer/unit for {duration} units (replication {replication}):"
-    );
+    println!("churn {rate}/peer/unit for {duration} units (replication {replication}):");
     println!(
         "  events: {} joins, {} leaves, {} crashes, {} stabilize rounds",
         outcome.joins, outcome.leaves, outcome.fails, outcome.stabilize_rounds
@@ -246,10 +282,7 @@ pub fn churn(args: &Args) -> Result<(), String> {
         built.net.total_items(),
         built.net.total_items() as f64 / items_before as f64 * 100.0
     );
-    println!(
-        "  ring consistency after settling: {} violations",
-        violations.len()
-    );
+    println!("  ring consistency after settling: {} violations", violations.len());
     // Estimation still works on the survivor.
     let initiator = built.net.random_peer(&mut rng).ok_or("network emptied out")?;
     let report = DfDde::new(DfDdeConfig::with_probes(96))
@@ -268,8 +301,7 @@ pub fn churn(args: &Args) -> Result<(), String> {
 pub fn topology(args: &Args) -> Result<(), String> {
     let (mut built, mut rng, _) = setup(args)?;
     let net = &built.net;
-    let loads: Vec<usize> =
-        net.ids().map(|id| net.node(id).expect("alive").store.len()).collect();
+    let loads: Vec<usize> = net.ids().map(|id| net.node(id).expect("alive").store.len()).collect();
     let arcs: Vec<f64> =
         net.ids().filter_map(|id| net.node(id).expect("alive").arc_fraction()).collect();
     let mean_load = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
@@ -335,9 +367,16 @@ mod tests {
 
     #[test]
     fn dist_names_resolve() {
-        for d in
-            ["uniform", "normal", "exponential", "pareto", "zipf", "bimodal", "trimodal", "lognormal"]
-        {
+        for d in [
+            "uniform",
+            "normal",
+            "exponential",
+            "pareto",
+            "zipf",
+            "bimodal",
+            "trimodal",
+            "lognormal",
+        ] {
             assert!(dist_of(d).is_ok(), "{d}");
         }
         assert!(dist_of("cauchy").is_err());
@@ -369,11 +408,24 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_and_query_commands_run() {
+    fn estimate_command_runs_under_faults() {
         let args = crate::args::Args::parse(
-            "aggregate --peers 48 --items 2000 --probes 32"
+            "estimate --peers 48 --items 2000 --probes 32 --loss 0.2 --fault-seed 9 --json"
                 .split_whitespace()
                 .map(String::from),
+        )
+        .unwrap();
+        estimate(&args).unwrap();
+        let args =
+            crate::args::Args::parse("estimate --loss 1.5".split_whitespace().map(String::from))
+                .unwrap();
+        assert!(estimate(&args).is_err());
+    }
+
+    #[test]
+    fn aggregate_and_query_commands_run() {
+        let args = crate::args::Args::parse(
+            "aggregate --peers 48 --items 2000 --probes 32".split_whitespace().map(String::from),
         )
         .unwrap();
         aggregate(&args).unwrap();

@@ -1,0 +1,163 @@
+//! Minimal JSON emission for `--json` output (the workspace builds offline,
+//! so there is no serde_json; the CLI only ever *writes* JSON, and only from
+//! a handful of shapes, so a tiny builder suffices).
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by hand.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float (NaN/infinities serialize as `null`, like serde_json).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// `null`.
+    Null,
+    /// An ordered object.
+    Obj(Vec<(&'static str, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&'static str, Json)>) -> Self {
+        Json::Obj(pairs)
+    }
+
+    /// Renders with 2-space indentation (matches `to_string_pretty`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Integral values print without a trailing ".0".
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{}", *x as i64);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Null => out.push_str("null"),
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    let _ = write!(out, "{pad}\"{k}\": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{close_pad}}}");
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{close_pad}]");
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Self {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Self {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<Option<f64>> for Json {
+    fn from(x: Option<f64>) -> Self {
+        x.map_or(Json::Null, Json::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj(vec![
+            ("name", "df-dde".into()),
+            ("ks", 0.0123.into()),
+            ("n_hat", Json::from(None::<f64>)),
+            ("pairs", Json::Arr(vec![Json::Arr(vec![0.5.into(), 512.0.into()])])),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"name\": \"df-dde\""));
+        assert!(s.contains("\"ks\": 0.0123"));
+        assert!(s.contains("\"n_hat\": null"));
+        assert!(s.contains("512"));
+        assert!(s.starts_with("{\n") && s.ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_strings_and_handles_non_finite() {
+        let s = Json::Str("a\"b\\c\nd".into()).pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Num(3.0).pretty(), "3");
+        assert_eq!(Json::Num(3.5).pretty(), "3.5");
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+    }
+}

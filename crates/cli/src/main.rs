@@ -3,6 +3,7 @@
 //! ```text
 //! ring-dde estimate  [--peers P] [--items N] [--dist D] [--probes K]
 //!                    [--buckets B] [--seed S] [--placement range|hashed]
+//!                    [--loss L] [--fault-seed S]
 //!                    [--method df-dde|exact|uniform-peer|gossip] [--json]
 //! ring-dde aggregate [--peers P] [--items N] [--dist D] [--probes K] [--seed S]
 //! ring-dde query     [--peers P] [--items N] [--dist D] [--lo X] [--hi Y] [--seed S]
@@ -16,6 +17,7 @@
 
 mod args;
 mod commands;
+mod json;
 
 use args::Args;
 
@@ -34,8 +36,22 @@ fn main() {
     };
     // Typo guard: warn about options no command reads.
     const KNOWN: &[&str] = &[
-        "peers", "items", "dist", "seed", "probes", "buckets", "placement", "method", "json",
-        "lo", "hi", "rate", "duration", "replication",
+        "peers",
+        "items",
+        "dist",
+        "seed",
+        "probes",
+        "buckets",
+        "placement",
+        "method",
+        "json",
+        "lo",
+        "hi",
+        "rate",
+        "duration",
+        "replication",
+        "loss",
+        "fault-seed",
     ];
     for key in parsed.unknown_keys(KNOWN) {
         eprintln!("warning: ignoring unknown option --{key}");

@@ -88,9 +88,8 @@ impl AggregateEstimator {
         let domain = net.placement().domain();
         let prober = DfDde::new(self.config);
         let (replies, cost) = with_cost(net, |net| prober.run_probes(net, initiator, rng))?;
-        let agg = estimate_aggregates(&replies, self.config.weighting).ok_or(
-            EstimateError::InsufficientProbes { got: replies.len(), need: 2 },
-        )?;
+        let agg = estimate_aggregates(&replies, self.config.weighting)
+            .ok_or(EstimateError::InsufficientProbes { got: replies.len(), need: 2 })?;
         let skeleton = CdfSkeleton::from_probes(
             &replies,
             domain,
@@ -181,7 +180,8 @@ mod tests {
         let (n, sum, mean, var) = exact_aggregates(&net);
         let mut rng = StdRng::seed_from_u64(1);
         let initiator = net.random_peer(&mut rng).unwrap();
-        let rep = AggregateEstimator::with_probes(128).query(&mut net, initiator, &mut rng).unwrap();
+        let rep =
+            AggregateEstimator::with_probes(128).query(&mut net, initiator, &mut rng).unwrap();
         assert!((rep.count - n).abs() / n < 0.1, "count {} vs {n}", rep.count);
         assert!((rep.sum - sum).abs() / sum < 0.1, "sum {} vs {sum}", rep.sum);
         assert!((rep.mean - mean).abs() / mean < 0.05, "mean {} vs {mean}", rep.mean);
@@ -195,7 +195,8 @@ mod tests {
         let mut net = build_net(256, 40_000, &kind, 73);
         let mut rng = StdRng::seed_from_u64(2);
         let initiator = net.random_peer(&mut rng).unwrap();
-        let rep = AggregateEstimator::with_probes(160).query(&mut net, initiator, &mut rng).unwrap();
+        let rep =
+            AggregateEstimator::with_probes(160).query(&mut net, initiator, &mut rng).unwrap();
         for (lo, hi) in [(0.0, 10.0), (20.0, 50.0), (90.0, 100.0)] {
             let exact: usize = net
                 .ids()
@@ -260,7 +261,8 @@ mod tests {
             summary: EquiDepthSummary::from_sorted(&[1.0], 1),
             hops: 0,
         };
-        let replies = vec![mk(h, u64::MAX, 10, 100.0, 1_100.0), mk(u64::MAX, h, 30, 900.0, 28_000.0)];
+        let replies =
+            vec![mk(h, u64::MAX, 10, 100.0, 1_100.0), mk(u64::MAX, h, 30, 900.0, 28_000.0)];
         let (n, sum, mean, var) =
             estimate_aggregates(&replies, Weighting::HorvitzThompson).unwrap();
         // Each arc fraction is 1/2 → weights 2; k = 2.

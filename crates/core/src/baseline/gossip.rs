@@ -16,11 +16,10 @@ use dde_ring::{MessageKind, Network, RingId};
 use dde_stats::{CdfFn, Histogram, PiecewiseCdf};
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Configuration for [`GossipAggregation`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GossipConfig {
     /// Synchronous gossip rounds. Push-Sum's relative error decays like
     /// `e^(-Θ(rounds))`; `2·log2(P) + 10` is comfortably converged.
@@ -115,6 +114,12 @@ impl DensityEstimator for GossipAggregation {
                     }
                     let target = nbrs[rng.gen_range(0..nbrs.len())];
                     net.stats_mut().record(MessageKind::Gossip, payload);
+                    // Under a fault plan, a lost push loses its share of
+                    // mass outright — Push-Sum's conservation breaks and
+                    // the estimate drifts (no retries in plain Push-Sum).
+                    if net.message_lost(id, target) {
+                        continue;
+                    }
                     inbox.entry(target).or_default().push(out);
                 }
                 for (id, deliveries) in inbox {
@@ -150,6 +155,8 @@ impl DensityEstimator for GossipAggregation {
             cost,
             peers_contacted: 0, // gossip involves everyone; "contacted" n/a
             estimated_total: Some(n_hat),
+            probes_requested: rounds,
+            probes_succeeded: rounds, // every round runs; loss shows as drift
         })
     }
 }

@@ -19,10 +19,9 @@ pub mod uniform_peer;
 
 use dde_ring::ProbeReply;
 use dde_stats::PiecewiseCdf;
-use serde::{Deserialize, Serialize};
 
 /// How pooled replies are weighted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoolWeighting {
     /// `F̂(x) = (1/k)·Σⱼ Fⱼ(x)` — averages per-peer *distributions*. Biased
     /// for the data distribution whenever per-peer volume correlates with
@@ -78,9 +77,7 @@ pub(crate) fn pool_replies(
                 return None;
             }
             let replies = replies.to_vec();
-            Box::new(move |x| {
-                replies.iter().map(|r| r.summary.count_le(x)).sum::<f64>() / total
-            })
+            Box::new(move |x| replies.iter().map(|r| r.summary.count_le(x)).sum::<f64>() / total)
         }
     };
 

@@ -17,10 +17,9 @@ use crate::estimator::{with_cost, DensityEstimator, EstimateError, EstimationRep
 use dde_ring::{MessageKind, Network, ProbeReply, RingId};
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for [`RandomWalkSampling`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RandomWalkConfig {
     /// Number of peer samples (`k`).
     pub peers: usize,
@@ -84,8 +83,13 @@ impl RandomWalkSampling {
         let proposed = nbrs[rng.gen_range(0..nbrs.len())];
         let deg_cur = nbrs.len() as f64;
         let deg_prop = Self::neighbors(net, proposed).len().max(1) as f64;
-        // Degree query at the proposed peer: one request + one reply.
+        // Degree query at the proposed peer: one request + one reply. A
+        // lost request stalls the walk for this step (the walker times out
+        // in place — extra cost, slower mixing).
         net.stats_mut().record(MessageKind::WalkStep, 8);
+        if net.message_lost(cur, proposed) {
+            return cur;
+        }
         net.stats_mut().record(MessageKind::WalkStep, 8);
         if rng.gen::<f64>() < (deg_cur / deg_prop).min(1.0) {
             proposed
@@ -121,22 +125,28 @@ impl DensityEstimator for RandomWalkSampling {
             }
             let mut replies: Vec<ProbeReply> = Vec::with_capacity(cfg.peers);
             for _ in 0..cfg.peers {
-                // Sample the current position, then decorrelate.
-                let node = net.node(cur).expect("walk stays on alive peers");
-                let summary = node.store.summary(net.summary_buckets());
-                let reply = ProbeReply {
-                    peer: cur,
-                    predecessor: node.predecessor,
-                    count: node.store.len() as u64,
-                    sum: node.store.sum(),
-                    sum_sq: node.store.sum_sq(),
-                    summary,
-                    hops: 0,
-                };
+                // Sample the current position, then decorrelate. Under a
+                // fault plan the sampling exchange can lose its request or
+                // its reply — that sample is simply gone (the walk has no
+                // retry protocol).
                 net.stats_mut().record(MessageKind::Probe, 8);
-                net.stats_mut()
-                    .record(MessageKind::ProbeReply, 24 + reply.summary.wire_size());
-                replies.push(reply);
+                if !net.message_lost(initiator, cur) {
+                    let node = net.node(cur).expect("walk stays on alive peers");
+                    let summary = node.store.summary(net.summary_buckets());
+                    let reply = ProbeReply {
+                        peer: cur,
+                        predecessor: node.predecessor,
+                        count: node.store.len() as u64,
+                        sum: node.store.sum(),
+                        sum_sq: node.store.sum_sq(),
+                        summary,
+                        hops: 0,
+                    };
+                    net.stats_mut().record(MessageKind::ProbeReply, 24 + reply.summary.wire_size());
+                    if !net.reply_lost(cur, initiator) {
+                        replies.push(reply);
+                    }
+                }
                 for _ in 0..cfg.gap {
                     cur = Self::mh_step(net, cur, rng);
                 }
@@ -152,6 +162,8 @@ impl DensityEstimator for RandomWalkSampling {
             cost,
             peers_contacted: contacted,
             estimated_total: None,
+            probes_requested: cfg.peers,
+            probes_succeeded: contacted,
         })
     }
 }
@@ -213,10 +225,7 @@ mod tests {
         let visited_frac = visits.len() as f64 / 32.0;
         assert!(visited_frac > 0.95, "only {} of 32 peers visited", visits.len());
         for (&peer, &v) in &visits {
-            assert!(
-                (v as f64) < 4.0 * expected,
-                "peer {peer} visited {v}× vs expected {expected}"
-            );
+            assert!((v as f64) < 4.0 * expected, "peer {peer} visited {v}× vs expected {expected}");
         }
     }
 

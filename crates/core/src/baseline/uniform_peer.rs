@@ -11,16 +11,15 @@
 //! (consistent, though with higher variance than DF-DDE's ring-position
 //! probing at equal message cost — experiment F1/T3 quantifies this).
 
-pub use crate::baseline::PoolWeighting;
 use crate::baseline::pool_replies;
+pub use crate::baseline::PoolWeighting;
 use crate::estimate::DensityEstimate;
 use crate::estimator::{with_cost, DensityEstimator, EstimateError, EstimationReport};
 use dde_ring::{Network, RingId};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for [`UniformPeerSampling`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UniformPeerConfig {
     /// Number of peers to sample (`k`).
     pub peers: usize,
@@ -104,16 +103,15 @@ impl DensityEstimator for UniformPeerSampling {
         // Uniform peer sampling estimates N as P·mean(n): possible only when
         // P is known; we report the per-sample mean total instead (scaled by
         // the alive count, which the simulator knows — flagged as idealized).
-        let n_hat = if contacted > 0 {
-            Some(total / contacted as f64 * net.len() as f64)
-        } else {
-            None
-        };
+        let n_hat =
+            if contacted > 0 { Some(total / contacted as f64 * net.len() as f64) } else { None };
         Ok(EstimationReport {
             estimate: DensityEstimate::from_cdf(cdf),
             cost,
             peers_contacted: contacted,
             estimated_total: n_hat,
+            probes_requested: need,
+            probes_succeeded: contacted,
         })
     }
 }
@@ -212,8 +210,7 @@ mod tests {
                 .estimate(&mut net, initiator, &mut rng.clone())
                 .unwrap();
             cfg.weighting = PoolWeighting::CountWeighted;
-            let cw =
-                UniformPeerSampling::new(cfg).estimate(&mut net, initiator, &mut rng).unwrap();
+            let cw = UniformPeerSampling::new(cfg).estimate(&mut net, initiator, &mut rng).unwrap();
             ks_eq += eq.estimate.ks_to(truth.as_ref());
             ks_cw += cw.estimate.ks_to(truth.as_ref());
         }

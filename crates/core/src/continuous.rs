@@ -9,14 +9,14 @@
 use crate::dfdde::{DfDde, DfDdeConfig};
 use crate::estimate::DensityEstimate;
 use crate::estimator::EstimateError;
+use crate::retry::RetryPolicy;
 use crate::skeleton::{CdfSkeleton, Weighting};
 use dde_ring::{Network, ProbeReply, RingId};
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Configuration for [`ContinuousEstimator`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContinuousConfig {
     /// Maximum probes kept in the window.
     pub window: usize,
@@ -26,6 +26,10 @@ pub struct ContinuousConfig {
     pub support_cap: usize,
     /// Skeleton weighting (Horvitz–Thompson in the method).
     pub weighting: Weighting,
+    /// Retry policy for refresh probes (lost probes are re-issued against
+    /// fresh random ring positions; a refresh that still comes up short
+    /// just contributes fewer fresh probes this tick).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ContinuousConfig {
@@ -35,6 +39,7 @@ impl Default for ContinuousConfig {
             refresh_per_tick: 8,
             support_cap: 4096,
             weighting: Weighting::HorvitzThompson,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -69,7 +74,11 @@ impl ContinuousEstimator {
         if missing == 0 {
             return Ok(());
         }
-        let prober = DfDde::new(DfDdeConfig { probes: missing, ..DfDdeConfig::default() });
+        let prober = DfDde::new(DfDdeConfig {
+            probes: missing,
+            retry: self.config.retry,
+            ..DfDdeConfig::default()
+        });
         for r in prober.run_probes(net, initiator, rng)? {
             self.window.push_back(r);
         }
@@ -86,6 +95,7 @@ impl ContinuousEstimator {
     ) -> Result<(), EstimateError> {
         let prober = DfDde::new(DfDdeConfig {
             probes: self.config.refresh_per_tick,
+            retry: self.config.retry,
             ..DfDdeConfig::default()
         });
         let fresh = prober.run_probes(net, initiator, rng)?;
@@ -103,12 +113,13 @@ impl ContinuousEstimator {
     /// as-is: that staleness *is* the dynamic-network error being studied).
     pub fn current_estimate(&self, domain: (f64, f64)) -> Result<DensityEstimate, EstimateError> {
         let replies: Vec<ProbeReply> = self.window.iter().cloned().collect();
-        let skeleton =
-            CdfSkeleton::from_probes(&replies, domain, self.config.support_cap, self.config.weighting)
-                .ok_or(EstimateError::InsufficientProbes {
-                    got: replies.len(),
-                    need: 2,
-                })?;
+        let skeleton = CdfSkeleton::from_probes(
+            &replies,
+            domain,
+            self.config.support_cap,
+            self.config.weighting,
+        )
+        .ok_or(EstimateError::InsufficientProbes { got: replies.len(), need: 2 })?;
         Ok(DensityEstimate::from_cdf(skeleton.cdf))
     }
 }

@@ -10,15 +10,15 @@
 
 use crate::estimate::DensityEstimate;
 use crate::estimator::{with_cost, DensityEstimator, EstimateError, EstimationReport};
+use crate::retry::RetryPolicy;
 use crate::skeleton::{CdfSkeleton, Weighting};
 use dde_ring::{Network, ProbeReply, RingId};
 use dde_stats::CdfFn as _;
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How Phase-1 probe positions are drawn on the ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeStrategy {
     /// One uniform position per equal ring stratum (`uⱼ ∈ [j/k, (j+1)/k)`).
     ///
@@ -34,7 +34,7 @@ pub enum ProbeStrategy {
 }
 
 /// Phase-2 sampling behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SampleMode {
     /// No Phase 2: read density straight off the skeleton (zero extra cost).
     SkeletonOnly,
@@ -47,7 +47,7 @@ pub enum SampleMode {
 }
 
 /// Configuration for [`DfDde`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DfDdeConfig {
     /// Number of ring-position probes (`k`).
     pub probes: usize,
@@ -57,9 +57,11 @@ pub struct DfDdeConfig {
     pub sample_mode: SampleMode,
     /// Horvitz–Thompson on (the method) or off (T3 ablation).
     pub weighting: Weighting,
-    /// Additional probe attempts tolerated on routing failures before giving
-    /// up (churn can break individual probes).
-    pub max_retries: usize,
+    /// Retry policy for individual probes: churn and injected faults can
+    /// break them; lost probes are re-issued against fresh random ring
+    /// positions with exponential backoff, and a probe whose attempts run
+    /// out is simply skipped (the skeleton degrades gracefully).
+    pub retry: RetryPolicy,
     /// Cap on skeleton support points.
     pub support_cap: usize,
 }
@@ -71,7 +73,7 @@ impl Default for DfDdeConfig {
             strategy: ProbeStrategy::Stratified,
             sample_mode: SampleMode::SkeletonOnly,
             weighting: Weighting::HorvitzThompson,
-            max_retries: 16,
+            retry: RetryPolicy::default(),
             support_cap: 4096,
         }
     }
@@ -110,28 +112,37 @@ impl DfDde {
         rng: &mut StdRng,
     ) -> Result<Vec<ProbeReply>, EstimateError> {
         let k = self.config.probes;
+        let retry = self.config.retry;
         let mut replies = Vec::with_capacity(k);
-        let mut failures = 0usize;
         // Stratum width for systematic probing (k strata tile the ring).
         let stratum = (u128::from(u64::MAX) + 1) / k.max(1) as u128;
-        while replies.len() < k {
-            let j = replies.len() + failures; // retries fall into later strata
-            let point = match self.config.strategy {
-                ProbeStrategy::IidUniform => RingId(rng.gen()),
-                ProbeStrategy::Stratified => {
-                    let offset = rng.gen::<u64>() as u128 % stratum;
-                    RingId(((j as u128 % k as u128) * stratum + offset) as u64)
-                }
-            };
-            match net.probe(initiator, point) {
-                Ok(reply) => replies.push(reply),
-                Err(dde_ring::LookupError::InitiatorDead) => {
-                    return Err(EstimateError::InitiatorDead)
-                }
-                Err(_) => {
-                    failures += 1;
-                    if failures > self.config.max_retries {
+        for j in 0..k {
+            for attempt in 0..retry.max_attempts.max(1) {
+                // Every attempt draws a fresh random position (the old one
+                // may sit behind a lossy link or a sick peer), but retries
+                // stay *inside the probe's stratum* under the stratified
+                // strategy — re-issuing globally uniform would quietly
+                // un-stratify the design and inflate variance under loss.
+                let point = match self.config.strategy {
+                    ProbeStrategy::IidUniform => RingId(rng.gen()),
+                    ProbeStrategy::Stratified => {
+                        let offset = rng.gen::<u64>() as u128 % stratum;
+                        RingId(((j as u128 % k as u128) * stratum + offset) as u64)
+                    }
+                };
+                match net.probe(initiator, point) {
+                    Ok(reply) => {
+                        replies.push(reply);
                         break;
+                    }
+                    Err(dde_ring::LookupError::InitiatorDead) => {
+                        return Err(EstimateError::InitiatorDead)
+                    }
+                    Err(_) => {
+                        // Waiting time (timeout + backoff) is the retry
+                        // policy's side of the cost model; the network
+                        // already charged the messages.
+                        net.stats_mut().record_delay(retry.failed_attempt_cost(attempt));
                     }
                 }
             }
@@ -147,10 +158,7 @@ impl DfDde {
         domain: (f64, f64),
     ) -> Result<CdfSkeleton, EstimateError> {
         CdfSkeleton::from_probes(replies, domain, self.config.support_cap, self.config.weighting)
-            .ok_or(EstimateError::InsufficientProbes {
-                got: replies.len(),
-                need: 2,
-            })
+            .ok_or(EstimateError::InsufficientProbes { got: replies.len(), need: 2 })
     }
 }
 
@@ -170,12 +178,15 @@ impl DensityEstimator for DfDde {
     ) -> Result<EstimationReport, EstimateError> {
         let domain = net.placement().domain();
         let need = self.config.probes;
-        let ((skeleton, samples, contacted), cost) = with_cost(net, |net| {
-            // Phase 1.
+        let ((skeleton, samples, contacted, succeeded), cost) = with_cost(net, |net| {
+            // Phase 1. A partial reply set is fine — the skeleton degrades
+            // gracefully and the report says how many of `k` succeeded —
+            // but below 2 usable replies no skeleton exists.
             let replies = self.run_probes(net, initiator, rng)?;
             if replies.len() < need.min(2) {
                 return Err(EstimateError::InsufficientProbes { got: replies.len(), need });
             }
+            let succeeded = replies.len();
             let skeleton = self.build_skeleton(&replies, domain)?;
 
             // Phase 2.
@@ -200,7 +211,7 @@ impl DensityEstimator for DfDde {
                 }
             }
             let contacted = skeleton.probes_used;
-            Ok((skeleton, samples, contacted))
+            Ok((skeleton, samples, contacted, succeeded))
         })?;
 
         Ok(EstimationReport {
@@ -208,6 +219,8 @@ impl DensityEstimator for DfDde {
             cost,
             peers_contacted: contacted,
             estimated_total: Some(skeleton.n_hat),
+            probes_requested: need,
+            probes_succeeded: succeeded,
         })
     }
 }
@@ -295,8 +308,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let initiator = net.random_peer(&mut rng).unwrap();
             let mut cfg = DfDdeConfig::with_probes(96);
-            let est_ht =
-                DfDde::new(cfg).estimate(&mut net, initiator, &mut rng.clone()).unwrap();
+            let est_ht = DfDde::new(cfg).estimate(&mut net, initiator, &mut rng.clone()).unwrap();
             cfg.weighting = Weighting::Unweighted;
             let est_raw = DfDde::new(cfg).estimate(&mut net, initiator, &mut rng).unwrap();
             ks_ht += est_ht.estimate.ks_to(truth.as_ref()) / runs as f64;
@@ -324,11 +336,7 @@ mod tests {
         assert_eq!(large.cost.count(MessageKind::Probe), 128);
         assert!(large.messages() > 4 * small.messages());
         // Probes cost O(log P) each, not O(P).
-        assert!(
-            large.messages() < 128 * 40,
-            "messages = {} for 128 probes",
-            large.messages()
-        );
+        assert!(large.messages() < 128 * 40, "messages = {} for 128 probes", large.messages());
     }
 
     #[test]

@@ -93,11 +93,7 @@ impl DensityEstimate {
     pub fn mean(&self) -> f64 {
         // On a segment [(x0,F0),(x1,F1)] the density is constant, so the
         // segment contributes (F1-F0)·(x0+x1)/2.
-        self.cdf
-            .points()
-            .windows(2)
-            .map(|w| (w[1].1 - w[0].1) * 0.5 * (w[0].0 + w[1].0))
-            .sum()
+        self.cdf.points().windows(2).map(|w| (w[1].1 - w[0].1) * 0.5 * (w[0].0 + w[1].0)).sum()
     }
 
     /// Estimated (population) variance, exact over the skeleton: each linear

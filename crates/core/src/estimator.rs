@@ -57,6 +57,12 @@ pub struct EstimationReport {
     pub peers_contacted: usize,
     /// Estimated global item count (`N̂`), when the method produces one.
     pub estimated_total: Option<f64>,
+    /// Probes/samples the method set out to collect (`k`).
+    pub probes_requested: usize,
+    /// Probes/samples that actually succeeded. Under faults or churn this
+    /// may fall short of `probes_requested`; the estimate is then built
+    /// from the partial set rather than erroring.
+    pub probes_succeeded: usize,
 }
 
 impl EstimationReport {

@@ -108,6 +108,8 @@ impl DensityEstimator for ExactAggregation {
             cost,
             peers_contacted: visited,
             estimated_total: Some(n_total as f64),
+            probes_requested: visited,
+            probes_succeeded: visited,
         })
     }
 }

@@ -84,6 +84,7 @@ pub mod dfdde;
 pub mod estimate;
 pub mod estimator;
 pub mod exact;
+pub mod retry;
 pub mod skeleton;
 
 pub use aggregate::{AggregateEstimator, AggregateReport};
@@ -95,4 +96,5 @@ pub use dfdde::{DfDde, DfDdeConfig, ProbeStrategy, SampleMode};
 pub use estimate::DensityEstimate;
 pub use estimator::{DensityEstimator, EstimateError, EstimationReport};
 pub use exact::ExactAggregation;
-pub use skeleton::CdfSkeleton;
+pub use retry::RetryPolicy;
+pub use skeleton::{CdfSkeleton, Weighting};

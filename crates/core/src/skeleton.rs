@@ -26,10 +26,9 @@
 
 use dde_ring::ProbeReply;
 use dde_stats::PiecewiseCdf;
-use serde::{Deserialize, Serialize};
 
 /// Whether probe replies are reweighted by inclusion probability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Weighting {
     /// Horvitz–Thompson: divide by the peer's known arc fraction (unbiased).
     HorvitzThompson,
@@ -112,11 +111,8 @@ impl CdfSkeleton {
         let mut points: Vec<(f64, f64)> = Vec::with_capacity(support.len() + 2);
         points.push((lo, 0.0));
         for x in support {
-            let c_hat: f64 = usable
-                .iter()
-                .map(|(r, s)| r.summary.count_le(x) * weight(*s))
-                .sum::<f64>()
-                / k;
+            let c_hat: f64 =
+                usable.iter().map(|(r, s)| r.summary.count_le(x) * weight(*s)).sum::<f64>() / k;
             points.push((x, c_hat / n_hat));
         }
         points.push((hi, 1.0));
@@ -173,11 +169,7 @@ mod tests {
         assert_eq!(sk.probes_used, 4);
         assert!((sk.n_hat - 100.0).abs() < 1.0, "n_hat = {}", sk.n_hat);
         for x in [10.0, 25.0, 50.0, 75.0, 90.0] {
-            assert!(
-                (sk.cdf.cdf(x) - x / 100.0).abs() < 0.03,
-                "cdf({x}) = {}",
-                sk.cdf.cdf(x)
-            );
+            assert!((sk.cdf.cdf(x) - x / 100.0).abs() < 0.03, "cdf({x}) = {}", sk.cdf.cdf(x));
         }
     }
 
@@ -190,14 +182,13 @@ mod tests {
         let small_arc = reply(4 * Q - 1, 3 * Q, (0..90).map(|i| 75.0 + i as f64 * 0.27).collect());
         let replies = vec![big_arc, small_arc];
 
-        let ht =
-            CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::HorvitzThompson)
-                .unwrap();
+        let ht = CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::HorvitzThompson)
+            .unwrap();
         // HT: (10/0.75 + 90/0.25)/2 = (13.33 + 360)/2 = 186.7 — unbiased only
         // in expectation over the probe distribution, not per-draw. Verify
         // instead that weighting changed the answer in the right direction:
-        let raw = CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::Unweighted)
-            .unwrap();
+        let raw =
+            CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::Unweighted).unwrap();
         assert!((raw.n_hat - 50.0).abs() < 1e-9);
         assert!(ht.n_hat > raw.n_hat); // up-weights the dense small arc
 
@@ -221,22 +212,16 @@ mod tests {
     fn drops_replies_without_predecessor() {
         let mut replies = uniform_replies();
         replies[0].predecessor = None;
-        let sk =
-            CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::HorvitzThompson)
-                .unwrap();
+        let sk = CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::HorvitzThompson)
+            .unwrap();
         assert_eq!(sk.probes_used, 3);
     }
 
     #[test]
     fn too_few_replies_is_none() {
         let replies = vec![uniform_replies().remove(0)];
-        assert!(CdfSkeleton::from_probes(
-            &replies,
-            (0.0, 100.0),
-            1024,
-            Weighting::HorvitzThompson
-        )
-        .is_none());
+        assert!(CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::HorvitzThompson)
+            .is_none());
         assert!(CdfSkeleton::from_probes(&[], (0.0, 100.0), 64, Weighting::Unweighted).is_none());
     }
 
@@ -259,13 +244,8 @@ mod tests {
         // keeps the estimator consistent.
         let mut replies = uniform_replies();
         replies.push(replies[0].clone());
-        let sk = CdfSkeleton::from_probes(
-            &replies,
-            (0.0, 100.0),
-            1024,
-            Weighting::HorvitzThompson,
-        )
-        .unwrap();
+        let sk = CdfSkeleton::from_probes(&replies, (0.0, 100.0), 1024, Weighting::HorvitzThompson)
+            .unwrap();
         assert_eq!(sk.probes_used, 5);
         assert!(sk.n_hat > 0.0);
     }

@@ -9,10 +9,9 @@
 use crate::id::RingId;
 use crate::network::Network;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Churn rates, per alive peer per time unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnConfig {
     /// Join rate (new peers per alive peer per time unit).
     pub join_rate: f64,
@@ -28,12 +27,7 @@ impl ChurnConfig {
     /// A symmetric churn level: joins balance departures (half leaves, half
     /// crashes), keeping the expected network size constant.
     pub fn symmetric(rate: f64, stabilize_period: f64) -> Self {
-        Self {
-            join_rate: rate,
-            leave_rate: rate / 2.0,
-            fail_rate: rate / 2.0,
-            stabilize_period,
-        }
+        Self { join_rate: rate, leave_rate: rate / 2.0, fail_rate: rate / 2.0, stabilize_period }
     }
 
     /// No churn at all.
@@ -97,11 +91,8 @@ impl ChurnProcess {
         let end = self.now + duration;
         loop {
             let rate = self.config.total_rate() * net.len() as f64;
-            let next_event = if rate > 0.0 {
-                self.now + exponential(rng, rate)
-            } else {
-                f64::INFINITY
-            };
+            let next_event =
+                if rate > 0.0 { self.now + exponential(rng, rate) } else { f64::INFINITY };
             // Interleave stabilization ticks in timestamp order.
             while self.next_stabilize <= next_event.min(end) {
                 net.stabilize_round();
@@ -240,12 +231,8 @@ mod tests {
     fn never_shrinks_below_two() {
         let mut net = net_of_n(4);
         let mut rng = StdRng::seed_from_u64(9);
-        let cfg = ChurnConfig {
-            join_rate: 0.0,
-            leave_rate: 1.0,
-            fail_rate: 1.0,
-            stabilize_period: 0.5,
-        };
+        let cfg =
+            ChurnConfig { join_rate: 0.0, leave_rate: 1.0, fail_rate: 1.0, stabilize_period: 0.5 };
         let mut churn = ChurnProcess::new(cfg);
         churn.run(&mut net, 50.0, &mut rng);
         assert_eq!(net.len(), 2);

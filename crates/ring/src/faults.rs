@@ -1,0 +1,304 @@
+//! Deterministic fault injection: seeded plans for message loss, reply
+//! drops, delivery delays, crashes mid-request, and transient "sick peer"
+//! windows.
+//!
+//! A [`FaultPlan`] is installed on a [`crate::Network`] with
+//! [`crate::Network::set_fault_plan`] and is consulted on every simulated
+//! request/reply exchange of the lookup, probe, and insert paths (baseline
+//! estimators consult it through [`crate::Network::message_lost`] /
+//! [`crate::Network::reply_lost`]). Every decision is drawn from a
+//! splitmix64 stream over the plan's seed, so **two runs with the same seed
+//! and the same operation sequence inject byte-identical faults** — the
+//! `MessageStats` of a faulted run replay exactly.
+//!
+//! Cost model (shared with the retry machinery in `dde-core`):
+//!
+//! * the *network* charges messages — delivered exchanges, plus one
+//!   timeout-marker message per observed silence (dead peer, lost request,
+//!   dropped reply, sick window, crash);
+//! * delivered messages additionally accrue simulated-time *delay units*
+//!   drawn from the plan's [`DelayDist`];
+//! * waiting time (per-attempt timeouts, retry backoff) is charged by the
+//!   caller's retry policy, never here — so a retry that follows a purge is
+//!   never double-counted.
+
+use crate::id::RingId;
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed 64-bit word onto `[0, 1)` with 53-bit precision.
+fn unit(z: u64) -> f64 {
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic per-message delay distribution, in simulated-time cost
+/// units (the same units retry backoff is budgeted in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayDist {
+    /// Minimum delay per delivered message.
+    pub base: u64,
+    /// Maximum uniform jitter added on top (`0..=jitter`).
+    pub jitter: u64,
+}
+
+impl Default for DelayDist {
+    fn default() -> Self {
+        Self { base: 1, jitter: 3 }
+    }
+}
+
+/// What the plan decided for one request/reply exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// The exchange goes through unharmed.
+    Clean,
+    /// The request transmission is lost on the link; the receiver never
+    /// sees it.
+    RequestLost,
+    /// The request arrives and is processed, but the reply is dropped —
+    /// the sender observes a timeout even though work happened remotely.
+    ReplyLost,
+    /// The contacted peer is inside a transient sick window: unresponsive
+    /// for a while but **not** dead (do not purge routing state).
+    Sick,
+    /// The contacted peer crashes mid-request — a permanent failure.
+    Crash,
+}
+
+/// A seeded, fully deterministic fault plan (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-link request-loss probability (each transmission rolls
+    /// independently, salted by the link's endpoint ids).
+    pub loss: f64,
+    /// Probability a reply is dropped after the request arrived.
+    pub reply_loss: f64,
+    /// Probability the contacted peer crashes mid-request.
+    pub crash: f64,
+    /// Fraction of peers transiently sick in any given window.
+    pub sick: f64,
+    /// Sick-window length in plan clock ticks (one tick per top-level
+    /// overlay operation); which peers are sick is re-drawn every window.
+    pub sick_window: u64,
+    /// Delay distribution for delivered messages.
+    pub delay: DelayDist,
+    /// Decision-stream position; advances once per roll.
+    counter: u64,
+    /// Operation clock; advances once per lookup/probe/insert.
+    clock: u64,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (all probabilities zero) — the builder
+    /// methods below switch individual faults on.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            loss: 0.0,
+            reply_loss: 0.0,
+            crash: 0.0,
+            sick: 0.0,
+            sick_window: 64,
+            delay: DelayDist::default(),
+            counter: 0,
+            clock: 0,
+        }
+    }
+
+    /// Sets the per-link request-loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// Sets the reply-drop probability.
+    pub fn with_reply_loss(mut self, p: f64) -> Self {
+        self.reply_loss = p;
+        self
+    }
+
+    /// Sets the crash-mid-request probability.
+    pub fn with_crash(mut self, p: f64) -> Self {
+        self.crash = p;
+        self
+    }
+
+    /// Makes a `p` fraction of peers sick per window of `window` operations.
+    pub fn with_sick(mut self, p: f64, window: u64) -> Self {
+        self.sick = p;
+        self.sick_window = window.max(1);
+        self
+    }
+
+    /// Sets the delivered-message delay distribution.
+    pub fn with_delay(mut self, delay: DelayDist) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The operation clock (ticks once per top-level overlay operation).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the operation clock. Called by the network at the start of
+    /// each top-level operation (lookup/probe/insert).
+    pub(crate) fn tick(&mut self) {
+        self.clock += 1;
+    }
+
+    /// One draw from the decision stream, salted by `salt`.
+    fn roll(&mut self, salt: u64) -> f64 {
+        self.counter += 1;
+        unit(mix(self.seed ^ mix(self.counter) ^ salt))
+    }
+
+    /// Salt identifying a directed link (order matters: `a → b ≠ b → a`).
+    fn link_salt(from: RingId, to: RingId) -> u64 {
+        mix(from.0).rotate_left(17) ^ mix(to.0)
+    }
+
+    /// Rolls request loss for one `from → to` transmission.
+    pub fn request_lost(&mut self, from: RingId, to: RingId) -> bool {
+        let salt = Self::link_salt(from, to);
+        self.roll(salt) < self.loss
+    }
+
+    /// Rolls reply loss for one `from → to` reply transmission.
+    pub fn reply_lost(&mut self, from: RingId, to: RingId) -> bool {
+        let salt = Self::link_salt(from, to).rotate_left(31);
+        self.roll(salt) < self.reply_loss
+    }
+
+    /// Rolls whether the contacted `peer` crashes mid-request.
+    pub fn crashes(&mut self, peer: RingId) -> bool {
+        self.roll(mix(peer.0)) < self.crash
+    }
+
+    /// Whether `peer` is inside a sick window *right now*. Pure in the
+    /// clock: the same peer stays sick for the whole window and the sick
+    /// set is re-drawn when the window rolls over.
+    pub fn is_sick(&self, peer: RingId) -> bool {
+        if self.sick <= 0.0 {
+            return false;
+        }
+        let window = self.clock / self.sick_window;
+        unit(mix(self.seed ^ mix(peer.0) ^ mix(window.wrapping_mul(0xA076_1D64_78BD_642F))))
+            < self.sick
+    }
+
+    /// Draws one delivered-message delay in cost units.
+    pub fn message_delay(&mut self) -> u64 {
+        let d = self.delay;
+        if d.jitter == 0 {
+            return d.base;
+        }
+        self.counter += 1;
+        d.base + mix(self.seed ^ mix(self.counter) ^ 0x6A09_E667_F3BC_C909) % (d.jitter + 1)
+    }
+
+    /// One combined decision for an application-level request/reply RPC on
+    /// the `from → to` link, rolling the faults in causal order: a sick or
+    /// crashed peer never replies, a lost request is never processed, and
+    /// only a processed request can lose its reply.
+    pub fn decide_rpc(&mut self, from: RingId, to: RingId) -> FaultDecision {
+        if self.is_sick(to) {
+            return FaultDecision::Sick;
+        }
+        if self.request_lost(from, to) {
+            return FaultDecision::RequestLost;
+        }
+        if self.crashes(to) {
+            return FaultDecision::Crash;
+        }
+        if self.reply_lost(to, from) {
+            return FaultDecision::ReplyLost;
+        }
+        FaultDecision::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let mut a = FaultPlan::new(42).with_loss(0.2).with_reply_loss(0.1).with_crash(0.05);
+        let mut b = a.clone();
+        for i in 0..1_000u64 {
+            let x = RingId(mix(i));
+            let y = RingId(mix(i ^ 0xFFFF));
+            assert_eq!(a.decide_rpc(x, y), b.decide_rpc(x, y));
+            assert_eq!(a.message_delay(), b.message_delay());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::new(1).with_loss(0.5);
+        let mut b = FaultPlan::new(2).with_loss(0.5);
+        let diverged = (0..64u64).any(|i| {
+            a.request_lost(RingId(i), RingId(!i)) != b.request_lost(RingId(i), RingId(!i))
+        });
+        assert!(diverged, "independent seeds should produce different streams");
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let mut plan = FaultPlan::new(7).with_loss(0.3);
+        let n = 20_000;
+        let lost = (0..n).filter(|&i| plan.request_lost(RingId(i), RingId(i ^ 0xABCD))).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss rate {rate}");
+        // Zero-probability faults never fire.
+        assert!(!plan.reply_lost(RingId(1), RingId(2)));
+        assert!(!plan.crashes(RingId(3)));
+        assert!(!plan.is_sick(RingId(4)));
+    }
+
+    #[test]
+    fn sick_windows_are_stable_then_rotate() {
+        let mut plan = FaultPlan::new(11).with_sick(0.3, 8);
+        let peers: Vec<RingId> = (0..64).map(|i| RingId(mix(i))).collect();
+        let snapshot: Vec<bool> = peers.iter().map(|&p| plan.is_sick(p)).collect();
+        let sick_now = snapshot.iter().filter(|&&s| s).count();
+        assert!(sick_now > 5 && sick_now < 40, "sick fraction off: {sick_now}/64");
+        // Stable within the window…
+        for _ in 0..7 {
+            plan.tick();
+        }
+        let same: Vec<bool> = peers.iter().map(|&p| plan.is_sick(p)).collect();
+        assert_eq!(snapshot, same);
+        // …and re-drawn in a later window.
+        for _ in 0..64 {
+            plan.tick();
+        }
+        let later: Vec<bool> = peers.iter().map(|&p| plan.is_sick(p)).collect();
+        assert_ne!(snapshot, later, "sick set should rotate across windows");
+    }
+
+    #[test]
+    fn delays_stay_in_range() {
+        let mut plan = FaultPlan::new(3).with_delay(DelayDist { base: 2, jitter: 5 });
+        for _ in 0..500 {
+            let d = plan.message_delay();
+            assert!((2..=7).contains(&d), "delay {d} outside [2, 7]");
+        }
+        let mut flat = FaultPlan::new(3).with_delay(DelayDist { base: 4, jitter: 0 });
+        assert_eq!(flat.message_delay(), 4);
+    }
+}

@@ -5,13 +5,11 @@
 //! responsible for the half-open arc `(p, n]` — every arc predicate in the
 //! codebase uses that single convention.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of bits of the identifier space (and of finger tables).
 pub const RING_BITS: u32 = 64;
 
 /// A position on the 2⁶⁴ identifier ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RingId(pub u64);
 
 impl RingId {

@@ -27,6 +27,8 @@
 //! Modules:
 //!
 //! * [`id`] — 2⁶⁴ identifier-ring arithmetic (wraparound arcs, distances);
+//! * [`faults`] — seeded, deterministic fault injection (message loss,
+//!   reply drops, delays, crashes, sick-peer windows);
 //! * [`placement`] — mapping data values onto the ring (hashed vs
 //!   order-preserving range placement);
 //! * [`store`] — per-peer sorted data stores with rank queries and summaries;
@@ -40,6 +42,7 @@
 #![warn(clippy::all)]
 
 pub mod churn;
+pub mod faults;
 pub mod id;
 pub mod membership;
 pub mod messages;
@@ -51,6 +54,7 @@ pub mod replication;
 pub mod store;
 
 pub use churn::{ChurnConfig, ChurnProcess};
+pub use faults::{DelayDist, FaultDecision, FaultPlan};
 pub use id::RingId;
 pub use messages::{MessageKind, MessageStats};
 pub use network::{LookupError, LookupResult, Network, ProbeReply};

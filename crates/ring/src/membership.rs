@@ -73,9 +73,7 @@ impl Network {
         let pred_for_arc = old_pred.unwrap_or(succ_id);
         let placement = self.placement;
         let succ_node = self.nodes.get_mut(&succ_id).expect("owner alive");
-        let moved = succ_node
-            .store
-            .drain_by(|x| placement.place(x).in_arc(pred_for_arc, new_id));
+        let moved = succ_node.store.drain_by(|x| placement.place(x).in_arc(pred_for_arc, new_id));
         succ_node.predecessor = Some(new_id);
         self.stats.record(MessageKind::Handoff, 8 * moved.len());
         node.store.extend_values(moved);
@@ -105,7 +103,7 @@ impl Network {
                 heir = Some(*s);
                 break;
             }
-            self.stats.record(MessageKind::LookupTimeout, 8);
+            self.observe_timeout(MessageKind::LookupTimeout);
         }
         let node = self.nodes.get_mut(&id).expect("checked alive");
         let data = node.store.drain_all();
@@ -174,22 +172,44 @@ impl Network {
                 alive_succ = Some(s);
                 break;
             }
-            self.stats.record(MessageKind::LookupTimeout, 8);
+            self.observe_timeout(MessageKind::LookupTimeout);
             corrections += 1;
         }
         succs.retain(|&s| self.is_alive(s));
-        let Some(mut succ) = alive_succ else {
-            // Whole list dead: fall back to any finger, else isolated.
-            let node = self.nodes.get_mut(&id).expect("alive");
-            node.successors = succs;
-            let fingers: Vec<RingId> = node.fingers.iter().flatten().copied().collect();
-            let alive = fingers.into_iter().find(|&f| self.is_alive(f) && f != id);
-            if let Some(f) = alive {
-                self.nodes.get_mut(&id).expect("alive").offer_successor(f);
-                self.stats.record(MessageKind::Stabilize, 8);
-                return corrections + 1;
+        let mut succ = match alive_succ {
+            Some(s) => s,
+            None => {
+                // Whole list dead: fall back to any alive finger, else the
+                // alive predecessor (forming a temporary back-edge the normal
+                // stabilize/notify machinery then unwinds into ring order).
+                // Either way continue the full round below — an isolated node
+                // must still drop its dead predecessor and run notify, or it
+                // freezes the whole neighborhood in a broken fixed point.
+                self.nodes.get_mut(&id).expect("alive").successors = succs.clone();
+                let node = self.nodes.get(&id).expect("alive");
+                let fallback = node
+                    .fingers
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .chain(node.predecessor)
+                    .find(|&f| f != id && self.is_alive(f));
+                match fallback {
+                    Some(f) => {
+                        self.nodes.get_mut(&id).expect("alive").offer_successor(f);
+                        self.stats.record(MessageKind::Stabilize, 8);
+                        corrections += 1;
+                        f
+                    }
+                    None => {
+                        // Fully isolated: nothing outgoing is alive. Drop a
+                        // dead predecessor so inbound notifies can re-adopt
+                        // us, then wait to be found.
+                        corrections += self.drop_dead_predecessor(id);
+                        return corrections;
+                    }
+                }
             }
-            return corrections;
         };
 
         // 2. stabilize: adopt successor's predecessor if it sits between us.
@@ -242,15 +262,16 @@ impl Network {
         // successor list died during a storm walks back toward its true
         // successor one peer per round (O(P) rounds); with it, healing takes
         // O(log P).
-        let helper = {
-            let node = self.nodes.get(&id).expect("alive");
-            node.fingers
-                .iter()
-                .flatten()
-                .copied()
-                .chain(node.successors.iter().copied())
-                .find(|&f| f != id && self.is_alive(f))
-        };
+        //
+        // The helper is a random peer from the node's long-term peer cache
+        // (see `random_maintenance_peer`), NOT one of its live pointers: a
+        // storm can split the overlay into disjoint cycles that are each
+        // internally self-consistent (the "loopy ring" state), where every
+        // finger and successor of every member points inside its own cycle.
+        // Pointer-local repair can never detect that; a helper outside the
+        // querier's cycle resolves successor(id+1) against the *other* cycle
+        // and the offer below merges them — the Chord TR's loopy-ring cure.
+        let helper = self.random_maintenance_peer(id);
         if let Some(helper) = helper {
             self.stats.record(MessageKind::Stabilize, 8);
             if let Ok(res) = self.lookup(helper, id.finger_start(0)) {
@@ -279,16 +300,7 @@ impl Network {
         }
 
         // 5. Drop a dead believed-predecessor so ownership can re-form.
-        {
-            let pred = self.nodes.get(&id).expect("alive").predecessor;
-            if let Some(p) = pred {
-                if !self.is_alive(p) {
-                    self.stats.record(MessageKind::LookupTimeout, 8);
-                    self.nodes.get_mut(&id).expect("alive").predecessor = None;
-                    corrections += 1;
-                }
-            }
-        }
+        corrections += self.drop_dead_predecessor(id);
 
         // 6. Data repair: hand off items that fall outside the believed arc
         // to their owners (joins during broken routing state can leave items
@@ -325,6 +337,20 @@ impl Network {
             }
         }
         corrections
+    }
+
+    /// Clears `id`'s predecessor if it is dead (one timeout charge); returns
+    /// the number of corrections (0 or 1).
+    fn drop_dead_predecessor(&mut self, id: RingId) -> usize {
+        let Some(node) = self.nodes.get(&id) else { return 0 };
+        if let Some(p) = node.predecessor {
+            if !self.is_alive(p) {
+                self.observe_timeout(MessageKind::LookupTimeout);
+                self.nodes.get_mut(&id).expect("alive").predecessor = None;
+                return 1;
+            }
+        }
+        0
     }
 
     /// Re-homes locally stored items that fall outside this node's believed
@@ -428,7 +454,7 @@ mod tests {
         net.leave(RingId(u64::MAX / 2)).unwrap();
         assert_eq!(net.len(), 2);
         assert_eq!(net.total_items(), 3); // handed over, not lost
-        // After stabilization the ring is consistent again.
+                                          // After stabilization the ring is consistent again.
         for _ in 0..3 {
             net.stabilize_round();
         }

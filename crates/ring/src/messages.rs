@@ -10,14 +10,13 @@
 //! * payload bytes cover the variable-size parts (summaries, histograms);
 //!   fixed headers are charged [`HEADER_BYTES`] per message.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Fixed per-message overhead charged on top of payloads, in bytes.
 pub const HEADER_BYTES: usize = 48;
 
 /// The kinds of messages the overlay exchanges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MessageKind {
     /// A routing step of an iterative lookup (request or reply).
     LookupHop,
@@ -39,10 +38,18 @@ pub enum MessageKind {
     TupleSample,
     /// Replica refresh traffic (primary pushing deltas to its successors).
     Replicate,
+    /// An injected fault: a request transmission lost on a link.
+    FaultDrop,
+    /// An injected fault: a reply dropped after the request was processed.
+    FaultReplyDrop,
+    /// An injected fault: the contacted peer crashed mid-request.
+    FaultCrash,
+    /// An injected fault: a timeout on a transiently sick (not dead) peer.
+    FaultSick,
 }
 
 /// Aggregate message/byte/hop counters for one simulation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MessageStats {
     counts: BTreeMap<MessageKind, u64>,
     bytes: u64,
@@ -50,6 +57,9 @@ pub struct MessageStats {
     hops: u64,
     /// Number of lookups performed.
     lookups: u64,
+    /// Simulated-time delay units accrued (message delivery delays drawn
+    /// from a fault plan, plus retry timeouts/backoff charged by callers).
+    delay_units: u64,
 }
 
 impl MessageStats {
@@ -68,6 +78,24 @@ impl MessageStats {
     pub fn record_lookup(&mut self, hops: u32) {
         self.lookups += 1;
         self.hops += u64::from(hops);
+    }
+
+    /// Accrues simulated-time delay units (delivery delays, retry waits).
+    pub fn record_delay(&mut self, units: u64) {
+        self.delay_units += units;
+    }
+
+    /// Total simulated-time delay units accrued.
+    pub fn total_delay(&self) -> u64 {
+        self.delay_units
+    }
+
+    /// Total injected-fault events tallied (all `Fault*` kinds).
+    pub fn total_faults(&self) -> u64 {
+        self.count(MessageKind::FaultDrop)
+            + self.count(MessageKind::FaultReplyDrop)
+            + self.count(MessageKind::FaultCrash)
+            + self.count(MessageKind::FaultSick)
     }
 
     /// Total messages of `kind`.
@@ -123,6 +151,7 @@ impl MessageStats {
             bytes: self.bytes - earlier.bytes,
             hops: self.hops - earlier.hops,
             lookups: self.lookups - earlier.lookups,
+            delay_units: self.delay_units - earlier.delay_units,
         }
     }
 
@@ -172,6 +201,22 @@ mod tests {
         assert_eq!(d.count(MessageKind::Gossip), 1);
         assert_eq!(d.lookups(), 1);
         assert_eq!(d.mean_hops(), 3.0);
+    }
+
+    #[test]
+    fn delay_and_fault_accounting() {
+        let mut s = MessageStats::new();
+        s.record_delay(5);
+        s.record(MessageKind::FaultDrop, 8);
+        s.record(MessageKind::FaultSick, 8);
+        let snapshot = s.clone();
+        s.record_delay(7);
+        s.record(MessageKind::FaultCrash, 8);
+        assert_eq!(s.total_delay(), 12);
+        assert_eq!(s.total_faults(), 3);
+        let d = s.since(&snapshot);
+        assert_eq!(d.total_delay(), 7);
+        assert_eq!(d.total_faults(), 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! **routing decisions use exclusively the per-node routing state**, which
 //! churn can make stale — that is the point of the simulation.
 
+use crate::faults::{FaultDecision, FaultPlan};
 use crate::id::{RingId, RING_BITS};
 use crate::messages::{MessageKind, MessageStats};
 use crate::node::{Node, SUCCESSOR_LIST_LEN};
@@ -36,6 +37,9 @@ pub enum LookupError {
     HopLimitExceeded,
     /// The network has no peers at all.
     EmptyNetwork,
+    /// An injected fault (lost request/reply, sick peer, crash) broke the
+    /// operation; the caller may retry.
+    MessageLost,
 }
 
 impl std::fmt::Display for LookupError {
@@ -45,6 +49,7 @@ impl std::fmt::Display for LookupError {
             LookupError::NoRoute => write!(f, "no route to target (routing state exhausted)"),
             LookupError::HopLimitExceeded => write!(f, "hop limit exceeded"),
             LookupError::EmptyNetwork => write!(f, "network has no peers"),
+            LookupError::MessageLost => write!(f, "message lost to an injected fault"),
         }
     }
 }
@@ -85,6 +90,24 @@ pub struct Network {
     pub(crate) finger_cursor: BTreeMap<RingId, u32>,
     /// Replication factor: copies kept beyond the primary (0 = off).
     pub(crate) replication: usize,
+    /// Deterministic counter driving maintenance-time random peer picks
+    /// (models each node's long-term peer cache; see `stabilize_node`).
+    pub(crate) maint_counter: u64,
+    /// Installed fault plan; `None` injects nothing.
+    pub(crate) faults: Option<FaultPlan>,
+}
+
+/// Outcome of one hop-level request/reply exchange (see `Network::contact`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Contact {
+    /// Exchange succeeded (two messages plus delivery delay charged).
+    Ok,
+    /// The peer is permanently gone — dead or crashed mid-request. The
+    /// timeout was charged and the stale entry purged from the caller.
+    Gone,
+    /// A transient failure — lost request/reply or a sick window. The
+    /// timeout was charged; routing state is left alone (the peer lives).
+    Faulted,
 }
 
 impl Network {
@@ -98,6 +121,74 @@ impl Network {
             fingers_per_round: 4,
             finger_cursor: BTreeMap::new(),
             replication: 0,
+            maint_counter: 0,
+            faults: None,
+        }
+    }
+
+    /// Installs a fault plan; all subsequent lookup/probe/insert traffic is
+    /// subject to it (see [`crate::faults`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes the installed fault plan.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Rolls the installed plan for one application-level request `from →
+    /// to`; `true` means the message was lost (tallied as a fault). Always
+    /// `false` without a plan. Estimators that simulate their own message
+    /// exchanges (gossip pushes, walk steps) subject them to the plan here.
+    pub fn message_lost(&mut self, from: RingId, to: RingId) -> bool {
+        let lost = self.faults.as_mut().is_some_and(|p| p.request_lost(from, to));
+        if lost {
+            self.stats.record(MessageKind::FaultDrop, 8);
+        }
+        lost
+    }
+
+    /// Rolls the installed plan for one application-level reply `from →
+    /// to`; `true` means the reply was dropped (tallied as a fault).
+    pub fn reply_lost(&mut self, from: RingId, to: RingId) -> bool {
+        let lost = self.faults.as_mut().is_some_and(|p| p.reply_lost(from, to));
+        if lost {
+            self.stats.record(MessageKind::FaultReplyDrop, 8);
+        }
+        lost
+    }
+
+    /// A deterministic pseudo-random alive peer other than `exclude`, drawn
+    /// from the network's maintenance counter (splitmix64). This models the
+    /// long-term peer cache every deployed DHT node keeps (bootstrap lists,
+    /// gossiped membership) — out-of-band knowledge, like the join bootstrap.
+    pub(crate) fn random_maintenance_peer(&mut self, exclude: RingId) -> Option<RingId> {
+        if self.len() < 2 {
+            return None;
+        }
+        self.maint_counter = self.maint_counter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.maint_counter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let idx = (z % self.len() as u64) as usize;
+        let pick = self.nodes.keys().nth(idx).copied().expect("len checked");
+        if pick == exclude {
+            // Deterministically take the next peer (wrapping) instead.
+            self.nodes
+                .range((std::ops::Bound::Excluded(pick), std::ops::Bound::Unbounded))
+                .next()
+                .map(|(&id, _)| id)
+                .or_else(|| self.nodes.keys().next().copied())
+                .filter(|&id| id != exclude)
+        } else {
+            Some(pick)
         }
     }
 
@@ -260,16 +351,86 @@ impl Network {
         all
     }
 
+    /// The single timeout cost path: one timeout-marker message (header +
+    /// 8-byte payload) for the waiting sender, whatever caused the silence.
+    /// Dead-peer purges and every injected fault route through here, so a
+    /// retry that follows a purge pays only its own traffic — the silence
+    /// itself is never charged twice. (Waiting *time* is the caller's retry
+    /// policy's to charge, not the network's.)
+    pub(crate) fn observe_timeout(&mut self, kind: MessageKind) {
+        self.stats.record(kind, 8);
+    }
+
+    /// Timeout on a permanently-gone peer: charge it once and purge the
+    /// stale routing entry from `from`, as a real timeout handler would.
+    fn timeout_and_purge(&mut self, from: RingId, to: RingId, kind: MessageKind) {
+        self.observe_timeout(kind);
+        if let Some(n) = self.nodes.get_mut(&from) {
+            n.forget(to);
+        }
+    }
+
+    /// One hop-level request/reply exchange `from → to`, subject to the
+    /// fault plan. On success charges 2 hop messages plus delivery delay;
+    /// on failure charges exactly one timeout through the unified path.
+    fn contact(&mut self, from: RingId, to: RingId) -> Contact {
+        if !self.is_alive(to) {
+            self.timeout_and_purge(from, to, MessageKind::LookupTimeout);
+            return Contact::Gone;
+        }
+        let decision = match self.faults.as_mut() {
+            None => FaultDecision::Clean,
+            Some(p) => p.decide_rpc(from, to),
+        };
+        match decision {
+            FaultDecision::Clean => {
+                self.stats.record(MessageKind::LookupHop, 8);
+                self.stats.record(MessageKind::LookupHop, 8);
+                if let Some(p) = self.faults.as_mut() {
+                    let d = p.message_delay() + p.message_delay();
+                    self.stats.record_delay(d);
+                }
+                Contact::Ok
+            }
+            FaultDecision::Sick => {
+                self.observe_timeout(MessageKind::FaultSick);
+                Contact::Faulted
+            }
+            FaultDecision::RequestLost => {
+                self.observe_timeout(MessageKind::FaultDrop);
+                Contact::Faulted
+            }
+            FaultDecision::ReplyLost => {
+                // The request arrived and was processed; its reply vanished.
+                self.stats.record(MessageKind::LookupHop, 8);
+                self.observe_timeout(MessageKind::FaultReplyDrop);
+                Contact::Faulted
+            }
+            FaultDecision::Crash => {
+                let _ = self.fail(to);
+                self.timeout_and_purge(from, to, MessageKind::FaultCrash);
+                Contact::Gone
+            }
+        }
+    }
+
     /// Iterative Chord lookup of ring point `target` starting at peer
     /// `from`, using only per-node routing state. Charges 2 messages per
     /// hop and 1 per timeout on a dead peer (dead entries are purged from
-    /// the discovering node, as a real timeout handler would).
+    /// the discovering node, as a real timeout handler would). With a fault
+    /// plan installed, each exchange may additionally be lost, delayed, or
+    /// hit a sick/crashing peer — transient faults on the final ownership
+    /// step surface as [`LookupError::MessageLost`] rather than ever
+    /// returning a wrong owner.
     pub fn lookup(&mut self, from: RingId, target: RingId) -> Result<LookupResult, LookupError> {
         if self.nodes.is_empty() {
             return Err(LookupError::EmptyNetwork);
         }
         if !self.is_alive(from) {
             return Err(LookupError::InitiatorDead);
+        }
+        if let Some(p) = self.faults.as_mut() {
+            p.tick();
         }
         let mut cur = from;
         let mut hops: u32 = 0;
@@ -279,58 +440,63 @@ impl Network {
             }
             let node = self.nodes.get(&cur).expect("cur is alive");
             // A node knows its own arc.
-            if node.owns(target) || node.successors.is_empty() {
+            if node.owns(target) {
                 self.stats.record_lookup(hops);
                 return Ok(LookupResult { owner: cur, hops });
+            }
+            // A node with no successors at all cannot resolve anything it
+            // does not own itself (a storm-isolated node must *not* claim
+            // foreign arcs — the initiator should retry elsewhere).
+            if node.successors.is_empty() {
+                return Err(LookupError::NoRoute);
             }
             // Is the target in (cur, successor]? Then the successor owns it.
             let succs = node.successors.clone();
             let succ = succs[0];
             if target.in_arc(cur, succ) {
                 for s in succs {
-                    if self.is_alive(s) {
-                        hops += 1;
-                        self.stats.record(MessageKind::LookupHop, 8);
-                        self.stats.record(MessageKind::LookupHop, 8);
-                        self.stats.record_lookup(hops);
-                        return Ok(LookupResult { owner: s, hops });
+                    match self.contact(cur, s) {
+                        Contact::Ok => {
+                            hops += 1;
+                            self.stats.record_lookup(hops);
+                            return Ok(LookupResult { owner: s, hops });
+                        }
+                        // Dead successor: ownership passed on; try the next.
+                        Contact::Gone => {}
+                        // Transient fault on the *owner* exchange: the true
+                        // owner is alive but unreachable right now. Falling
+                        // through to the next successor would return a
+                        // wrong owner — fail the lookup instead.
+                        Contact::Faulted => return Err(LookupError::MessageLost),
                     }
-                    self.stats.record(MessageKind::LookupTimeout, 8);
-                    self.nodes.get_mut(&cur).expect("alive").forget(s);
                 }
                 return Err(LookupError::NoRoute);
             }
-            // Advance via the best alive candidate.
+            // Advance via the best candidate that answers (any candidate
+            // preserves correctness; faulted ones just cost a timeout).
             let candidates = node.route_candidates(target);
             let mut advanced = false;
             for c in candidates {
-                if self.is_alive(c) {
+                if self.contact(cur, c) == Contact::Ok {
                     hops += 1;
-                    self.stats.record(MessageKind::LookupHop, 8);
-                    self.stats.record(MessageKind::LookupHop, 8);
                     cur = c;
                     advanced = true;
                     break;
                 }
-                self.stats.record(MessageKind::LookupTimeout, 8);
-                self.nodes.get_mut(&cur).expect("alive").forget(c);
             }
             if !advanced {
-                // All preceding candidates dead: step through the successor
-                // list (the target then lies beyond the first alive one, so
-                // the next iteration resolves or advances from there).
+                // All preceding candidates unresponsive: step through the
+                // successor list (the target then lies beyond the first
+                // responsive one, so the next iteration resolves or
+                // advances from there).
                 let succs = self.nodes.get(&cur).expect("alive").successors.clone();
                 for s in succs {
-                    if self.is_alive(s) {
+                    if self.contact(cur, s) == Contact::Ok {
                         hops += 1;
-                        self.stats.record(MessageKind::LookupHop, 8);
-                        self.stats.record(MessageKind::LookupHop, 8);
                         cur = s;
                         advanced = true;
                         break;
                     }
-                    self.stats.record(MessageKind::LookupTimeout, 8);
-                    self.nodes.get_mut(&cur).expect("alive").forget(s);
                 }
             }
             if !advanced {
@@ -348,6 +514,32 @@ impl Network {
         ring_point: RingId,
     ) -> Result<ProbeReply, LookupError> {
         let res = self.lookup(initiator, ring_point)?;
+        // The probe RPC itself (initiator → owner) is subject to the fault
+        // plan, except when the initiator owns the point (local read).
+        if res.owner != initiator {
+            match self.decide_rpc(initiator, res.owner) {
+                FaultDecision::Clean => {}
+                FaultDecision::Sick => {
+                    self.observe_timeout(MessageKind::FaultSick);
+                    return Err(LookupError::MessageLost);
+                }
+                FaultDecision::RequestLost => {
+                    self.observe_timeout(MessageKind::FaultDrop);
+                    return Err(LookupError::MessageLost);
+                }
+                FaultDecision::Crash => {
+                    let _ = self.fail(res.owner);
+                    self.observe_timeout(MessageKind::FaultCrash);
+                    return Err(LookupError::MessageLost);
+                }
+                FaultDecision::ReplyLost => {
+                    // The peer processed the probe; the reply vanished.
+                    self.stats.record(MessageKind::Probe, 8);
+                    self.observe_timeout(MessageKind::FaultReplyDrop);
+                    return Err(LookupError::MessageLost);
+                }
+            }
+        }
         let node = self.nodes.get(&res.owner).expect("owner alive");
         let summary = node.store.summary(self.summary_buckets);
         let reply = ProbeReply {
@@ -361,7 +553,26 @@ impl Network {
         };
         self.stats.record(MessageKind::Probe, 8);
         self.stats.record(MessageKind::ProbeReply, 40 + reply.summary.wire_size());
+        self.charge_rpc_delay();
         Ok(reply)
+    }
+
+    /// Rolls the fault plan for one application-level RPC (no-op `Clean`
+    /// without a plan).
+    fn decide_rpc(&mut self, from: RingId, to: RingId) -> FaultDecision {
+        match self.faults.as_mut() {
+            None => FaultDecision::Clean,
+            Some(p) => p.decide_rpc(from, to),
+        }
+    }
+
+    /// Charges delivery delay for one request + reply pair, if a plan with
+    /// a delay distribution is installed.
+    fn charge_rpc_delay(&mut self) {
+        if let Some(p) = self.faults.as_mut() {
+            let d = p.message_delay() + p.message_delay();
+            self.stats.record_delay(d);
+        }
     }
 
     /// Inserts one item through the overlay: routes to the owner of its
@@ -370,9 +581,39 @@ impl Network {
     pub fn insert(&mut self, initiator: RingId, x: f64) -> Result<u32, LookupError> {
         let pos = self.placement.place(x);
         let res = self.lookup(initiator, pos)?;
+        // The handoff RPC (initiator → owner) is subject to the fault plan
+        // unless the write is local.
+        if res.owner != initiator {
+            match self.decide_rpc(initiator, res.owner) {
+                FaultDecision::Clean => {}
+                FaultDecision::Sick => {
+                    self.observe_timeout(MessageKind::FaultSick);
+                    return Err(LookupError::MessageLost);
+                }
+                FaultDecision::RequestLost => {
+                    self.observe_timeout(MessageKind::FaultDrop);
+                    return Err(LookupError::MessageLost);
+                }
+                FaultDecision::Crash => {
+                    let _ = self.fail(res.owner);
+                    self.observe_timeout(MessageKind::FaultCrash);
+                    return Err(LookupError::MessageLost);
+                }
+                FaultDecision::ReplyLost => {
+                    // At-most-once confusion, faithfully modelled: the item
+                    // *was* stored but the ack vanished, so the writer sees
+                    // a failure (a retry would duplicate — its problem).
+                    self.nodes.get_mut(&res.owner).expect("owner alive").store.insert(x);
+                    self.stats.record(MessageKind::Handoff, 8);
+                    self.observe_timeout(MessageKind::FaultReplyDrop);
+                    return Err(LookupError::MessageLost);
+                }
+            }
+        }
         self.nodes.get_mut(&res.owner).expect("owner alive").store.insert(x);
         self.stats.record(MessageKind::Handoff, 8);
         self.stats.record(MessageKind::Handoff, 0);
+        self.charge_rpc_delay();
         Ok(res.hops)
     }
 

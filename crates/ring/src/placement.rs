@@ -14,11 +14,10 @@
 
 use crate::id::RingId;
 use dde_stats::rng::splitmix64;
-use serde::{Deserialize, Serialize};
 
 /// An affine, order-preserving map between a bounded data domain and the
 /// identifier ring.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DomainMap {
     lo: f64,
     hi: f64,
@@ -58,8 +57,7 @@ impl DomainMap {
 }
 
 /// How items are assigned ring positions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "mode", rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Placement {
     /// Hash of the value's bits (uniform on the ring).
     Hashed {

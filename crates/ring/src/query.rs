@@ -205,10 +205,7 @@ mod tests {
     #[test]
     fn dead_initiator_errors() {
         let mut n = net(Placement::range(0.0, 1000.0), 8, 6);
-        assert_eq!(
-            n.range_query(RingId(1), 0.0, 1.0).unwrap_err(),
-            LookupError::InitiatorDead
-        );
+        assert_eq!(n.range_query(RingId(1), 0.0, 1.0).unwrap_err(), LookupError::InitiatorDead);
     }
 
     #[test]

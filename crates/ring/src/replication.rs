@@ -130,11 +130,7 @@ impl Network {
 
     /// Total items held as replicas across the network (diagnostics).
     pub fn total_replica_items(&self) -> u64 {
-        self.nodes
-            .values()
-            .flat_map(|n| n.replicas.values())
-            .map(|(s, _)| s.len() as u64)
-            .sum()
+        self.nodes.values().flat_map(|n| n.replicas.values()).map(|(s, _)| s.len() as u64).sum()
     }
 }
 

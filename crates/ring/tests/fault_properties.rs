@@ -1,0 +1,124 @@
+//! Property tests for routing under injected faults: whatever the fault
+//! plan and churn mix, a lookup either returns the true owner or fails with
+//! a typed error — it never silently returns a wrong owner — and identical
+//! fault seeds replay identically.
+
+use dde_ring::{FaultPlan, LookupError, Network, Placement, RingId};
+use dde_stats::rng::{Component, SeedSequence};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn random_net(p: usize, seed: u64) -> Network {
+    let seq = SeedSequence::new(seed);
+    let mut rng = seq.stream(Component::NodeIds, 0);
+    let mut ids: Vec<RingId> = (0..p).map(|_| RingId(rng.gen())).collect();
+    ids.sort();
+    ids.dedup();
+    Network::build(ids, Placement::range(0.0, 1000.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a fully-alive ring, transient faults (lost requests, lost replies,
+    /// sick peers) may fail a lookup but must NEVER make it return a wrong
+    /// owner: the true owner is alive, so passing ownership to a successor
+    /// would be an integrity violation.
+    #[test]
+    fn transient_faults_never_yield_wrong_owner(
+        seed in 0u64..500,
+        fault_seed: u64,
+        loss in 0.0f64..0.5,
+        reply_loss in 0.0f64..0.3,
+        sick in 0.0f64..0.2,
+    ) {
+        let mut net = random_net(48, seed);
+        net.set_fault_plan(
+            FaultPlan::new(fault_seed)
+                .with_loss(loss)
+                .with_reply_loss(reply_loss)
+                .with_sick(sick, 16),
+        );
+        let seq = SeedSequence::new(seed ^ 0xF0);
+        let mut rng = seq.stream(Component::Test, 0);
+        let from = net.random_peer(&mut rng).expect("nonempty");
+        for _ in 0..20 {
+            let target = RingId(rng.gen());
+            match net.lookup(from, target) {
+                Ok(res) => prop_assert_eq!(
+                    res.owner,
+                    net.true_owner(target),
+                    "wrong owner under transient faults"
+                ),
+                // Typed failures are the allowed outcome.
+                Err(
+                    LookupError::MessageLost
+                    | LookupError::NoRoute
+                    | LookupError::HopLimitExceeded,
+                ) => {}
+                Err(e) => panic!("unexpected error on an alive ring: {e}"),
+            }
+        }
+    }
+
+    /// With a churn mix on top (a fraction of peers abruptly dead, plus
+    /// crash faults killing peers mid-request), a lookup still only ever
+    /// returns an alive owner — or a typed error.
+    #[test]
+    fn faults_and_churn_return_alive_owner_or_typed_error(
+        seed in 0u64..500,
+        fault_seed: u64,
+        kill in 0.0f64..0.3,
+        loss in 0.0f64..0.4,
+        crash in 0.0f64..0.05,
+    ) {
+        let mut net = random_net(64, seed);
+        let seq = SeedSequence::new(seed ^ 0xC4);
+        let mut rng = seq.stream(Component::Churn, 0);
+        let victims: Vec<RingId> = {
+            let ids: Vec<RingId> = net.ids().collect();
+            // Leave at least a handful alive.
+            ids.iter().copied().filter(|_| rng.gen::<f64>() < kill).take(48).collect()
+        };
+        for v in victims {
+            let _ = net.fail(v);
+        }
+        net.set_fault_plan(
+            FaultPlan::new(fault_seed).with_loss(loss).with_crash(crash),
+        );
+        let from = net.random_peer(&mut rng).expect("nonempty");
+        for _ in 0..20 {
+            if !net.is_alive(from) {
+                break; // a crash fault can kill the initiator's node
+            }
+            let target = RingId(rng.gen());
+            // Every error is typed and acceptable here; an Ok owner must be
+            // alive.
+            if let Ok(res) = net.lookup(from, target) {
+                prop_assert!(net.is_alive(res.owner), "lookup returned a dead owner");
+            }
+        }
+    }
+
+    /// The same fault seed against the same operation sequence replays
+    /// byte-identically — outcomes and message accounting included.
+    #[test]
+    fn same_fault_seed_replays_lookups_identically(
+        seed in 0u64..200,
+        fault_seed: u64,
+        loss in 0.0f64..0.4,
+    ) {
+        let run = || {
+            let mut net = random_net(32, seed);
+            net.set_fault_plan(FaultPlan::new(fault_seed).with_loss(loss));
+            let seq = SeedSequence::new(seed ^ 0xAB);
+            let mut rng = seq.stream(Component::Test, 1);
+            let from = net.random_peer(&mut rng).expect("nonempty");
+            let outcomes: Vec<String> = (0..15)
+                .map(|_| format!("{:?}", net.lookup(from, RingId(rng.gen()))))
+                .collect();
+            (outcomes, format!("{:?}", net.stats()))
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

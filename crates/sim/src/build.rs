@@ -54,18 +54,14 @@ pub fn build(scenario: &Scenario) -> BuiltScenario {
                 None => {
                     // Hashed placement: quantile layout is meaningless;
                     // fall back to uniform ids.
-                    return build(&Scenario {
-                        layout: NodeLayout::UniformIds,
-                        ..scenario.clone()
-                    });
+                    return build(&Scenario { layout: NodeLayout::UniformIds, ..scenario.clone() });
                 }
             };
             let mut sorted = data.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN from distributions"));
             (1..=scenario.peers)
                 .map(|i| {
-                    let q = sorted[(i * scenario.items / scenario.peers)
-                        .min(scenario.items - 1)];
+                    let q = sorted[(i * scenario.items / scenario.peers).min(scenario.items - 1)];
                     let base = map.to_ring(q).0;
                     RingId(base.wrapping_add(id_rng.gen_range(0..1u64 << 20)))
                 })

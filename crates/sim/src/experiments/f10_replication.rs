@@ -46,12 +46,8 @@ pub fn f10_replication(scale: Scale) -> Vec<Table> {
             let before_items = built.net.total_items();
             let seq = SeedSequence::new(scenario.seed ^ 0xF10);
             let mut churn_rng = seq.stream(Component::Churn, rep as u64);
-            let cfg = ChurnConfig {
-                join_rate: 0.0,
-                leave_rate: 0.0,
-                fail_rate,
-                stabilize_period: 0.5,
-            };
+            let cfg =
+                ChurnConfig { join_rate: 0.0, leave_rate: 0.0, fail_rate, stabilize_period: 0.5 };
             let stats_before = built.net.stats().clone();
             let mut churn = ChurnProcess::new(cfg);
             churn.run(&mut built.net, duration, &mut churn_rng);

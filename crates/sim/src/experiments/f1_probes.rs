@@ -33,11 +33,8 @@ pub fn f1_accuracy_vs_probes(scale: Scale) -> Vec<Table> {
         &["k", "df-dde", "±std", "uniform-peer", "uniform-peer-cw", "random-walk", "msgs(df-dde)"],
     );
     for k in probe_sweep(scale) {
-        let dfdde = aggregate(
-            &mut built,
-            &DfDde::new(DfDdeConfig::with_probes(k)),
-            scale.repeats(),
-        );
+        let dfdde =
+            aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
         let up = aggregate(
             &mut built,
             &UniformPeerSampling::new(UniformPeerConfig {
@@ -104,10 +101,7 @@ mod tests {
         assert_eq!(t.rows.len(), 3);
         let ks_first: f64 = t.rows[0][1].parse().unwrap();
         let ks_last: f64 = t.rows[t.rows.len() - 1][1].parse().unwrap();
-        assert!(
-            ks_last < ks_first,
-            "df-dde error should shrink with k: {ks_first} -> {ks_last}"
-        );
+        assert!(ks_last < ks_first, "df-dde error should shrink with k: {ks_first} -> {ks_last}");
         // At the largest k, df-dde beats the biased baseline.
         let naive_last: f64 = t.rows[t.rows.len() - 1][3].parse().unwrap();
         assert!(ks_last < naive_last, "df-dde {ks_last} vs uniform-peer {naive_last}");

@@ -45,8 +45,7 @@ fn drift_step(
     rng: &mut StdRng,
 ) {
     let (lo, hi) = net.placement().domain();
-    let dist =
-        DistributionKind::Normal { center_frac, std_frac: 0.08 }.build(lo, hi);
+    let dist = DistributionKind::Normal { center_frac, std_frac: 0.08 }.build(lo, hi);
     for _ in 0..count {
         // Delete a uniform random existing tuple (found by remote sampling),
         // then insert a fresh one from the drifted distribution.

@@ -36,9 +36,7 @@ pub fn f6_summary_granularity(scale: Scale) -> Vec<Table> {
     let k = 64;
     let spike = DistributionKind::Normal { center_frac: 0.5, std_frac: 0.004 };
     let mut t = Table::new(
-        format!(
-            "F6: accuracy vs summary granularity b (narrow-spike data, P = {peers}, k = {k})"
-        ),
+        format!("F6: accuracy vs summary granularity b (narrow-spike data, P = {peers}, k = {k})"),
         &["buckets b", "ks(gen)", "±std", "KB per estimate"],
     );
     for b in bucket_sweep(scale) {
@@ -65,10 +63,7 @@ mod tests {
         let ks_32: f64 = t.rows[2][1].parse().unwrap();
         let kb_1: f64 = t.rows[0][3].parse().unwrap();
         let kb_32: f64 = t.rows[2][3].parse().unwrap();
-        assert!(
-            ks_32 < ks_1,
-            "finer summaries must resolve the spike: b=1 {ks_1} vs b=32 {ks_32}"
-        );
+        assert!(ks_32 < ks_1, "finer summaries must resolve the spike: b=1 {ks_1} vs b=32 {ks_32}");
         assert!(kb_32 > kb_1, "bytes must grow with granularity");
     }
 }

@@ -69,13 +69,7 @@ pub fn f8_routing_hops(scale: Scale) -> Vec<Table> {
         let mean_h = hops_healthy as f64 / lookups as f64;
         let mean_c = if ok > 0 { hops_churned as f64 / ok as f64 } else { f64::NAN };
         let log2p = (p as f64).log2();
-        t.push_row(vec![
-            p.to_string(),
-            f(log2p),
-            f(mean_h),
-            f(mean_c),
-            f(mean_h / log2p),
-        ]);
+        t.push_row(vec![p.to_string(), f(log2p), f(mean_h), f(mean_c), f(mean_h / log2p)]);
     }
     vec![t]
 }

@@ -71,8 +71,7 @@ pub fn f9_sample_quality(scale: Scale) -> Vec<Table> {
             if !tuples.is_empty() {
                 rem += Ecdf::new(tuples).ks_distance_to(built.truth.as_ref()) / repeats as f64;
             }
-            extra += (remote.messages().saturating_sub(base.messages())) as f64
-                / repeats as f64;
+            extra += (remote.messages().saturating_sub(base.messages())) as f64 / repeats as f64;
         }
         t.push_row(vec![m.to_string(), f(syn), f(rem), f(extra), f(floor)]);
     }

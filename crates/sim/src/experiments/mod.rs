@@ -5,6 +5,8 @@
 //! [`Table`]s, regenerable via `cargo run -p dde-bench --bin expts -- <id>`
 //! and benchmarked by the matching Criterion target in `dde-bench`.
 
+pub mod f10_replication;
+pub mod f11_faults;
 pub mod f1_probes;
 pub mod f2_network_size;
 pub mod f3_distributions;
@@ -14,7 +16,6 @@ pub mod f5b_continuous;
 pub mod f6_granularity;
 pub mod f7_dataset_size;
 pub mod f8_routing;
-pub mod f10_replication;
 pub mod f9_sample_quality;
 pub mod t1_defaults;
 pub mod t2_cost_to_target;
@@ -22,6 +23,8 @@ pub mod t3_bias_ablation;
 pub mod t4_probe_strategy;
 pub mod t5_aggregates;
 
+pub use f10_replication::f10_replication;
+pub use f11_faults::f11_faults;
 pub use f1_probes::f1_accuracy_vs_probes;
 pub use f2_network_size::f2_accuracy_vs_network_size;
 pub use f3_distributions::f3_distribution_free;
@@ -31,7 +34,6 @@ pub use f5b_continuous::f5b_continuous_refresh;
 pub use f6_granularity::f6_summary_granularity;
 pub use f7_dataset_size::f7_dataset_size;
 pub use f8_routing::f8_routing_hops;
-pub use f10_replication::f10_replication;
 pub use f9_sample_quality::f9_sample_quality;
 pub use t1_defaults::t1_default_parameters;
 pub use t2_cost_to_target::t2_messages_to_target_accuracy;
@@ -76,6 +78,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(f8_routing_hops(scale));
     tables.extend(f9_sample_quality(scale));
     tables.extend(f10_replication(scale));
+    tables.extend(f11_faults(scale));
     tables.extend(t2_messages_to_target_accuracy(scale));
     tables.extend(t3_bias_ablation(scale));
     tables.extend(t4_probe_strategy(scale));
@@ -98,6 +101,7 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "f8" => f8_routing_hops(scale),
         "f9" => f9_sample_quality(scale),
         "f10" => f10_replication(scale),
+        "f11" => f11_faults(scale),
         "t2" => t2_messages_to_target_accuracy(scale),
         "t3" => t3_bias_ablation(scale),
         "t4" => t4_probe_strategy(scale),
@@ -107,5 +111,7 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
 }
 
 /// All experiment ids, in run order.
-pub const ALL_IDS: &[&str] =
-    &["t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "t2", "t3", "t4", "t5"];
+pub const ALL_IDS: &[&str] = &[
+    "t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "f11", "t2", "t3",
+    "t4", "t5",
+];

@@ -33,10 +33,7 @@ pub fn t1_default_parameters(scale: Scale) -> Vec<Table> {
     let mut params = Table::new("T1: default parameters", &["parameter", "value"]);
     params.push_row(vec!["peers (P)".into(), s.peers.to_string()]);
     params.push_row(vec!["items (N)".into(), s.items.to_string()]);
-    params.push_row(vec![
-        "domain".into(),
-        format!("[{}, {}]", s.domain.0, s.domain.1),
-    ]);
+    params.push_row(vec!["domain".into(), format!("[{}, {}]", s.domain.0, s.domain.1)]);
     params.push_row(vec!["distribution".into(), s.distribution.label().into()]);
     params.push_row(vec!["placement".into(), format!("{:?}", s.placement)]);
     params.push_row(vec!["layout".into(), format!("{:?}", s.layout)]);

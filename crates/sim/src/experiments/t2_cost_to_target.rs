@@ -26,8 +26,13 @@ pub fn ks_target(scale: Scale) -> f64 {
 /// Doubles the budget until the method's mean KS reaches `target`, returning
 /// `(budget, messages, ks)` of the first success, or `None` if the cap is
 /// hit first (a bias floor).
-fn search<F>(mut make: F, built: &mut crate::build::BuiltScenario, target: f64, repeats: usize,
-             cap: usize) -> Option<(usize, f64, f64)>
+fn search<F>(
+    mut make: F,
+    built: &mut crate::build::BuiltScenario,
+    target: f64,
+    repeats: usize,
+    cap: usize,
+) -> Option<(usize, f64, f64)>
 where
     F: FnMut(usize) -> Box<dyn DensityEstimator>,
 {
@@ -59,7 +64,12 @@ pub fn t2_messages_to_target_accuracy(scale: Scale) -> Vec<Table> {
 
     let fmt = |t: &mut Table, name: &str, r: Option<(usize, f64, f64)>| match r {
         Some((b, m, k)) => t.push_row(vec![name.into(), b.to_string(), f(m), f(k)]),
-        None => t.push_row(vec![name.into(), format!(">{cap}"), "-".into(), "never (bias floor)".into()]),
+        None => t.push_row(vec![
+            name.into(),
+            format!(">{cap}"),
+            "-".into(),
+            "never (bias floor)".into(),
+        ]),
     };
 
     let r = search(
@@ -104,10 +114,7 @@ pub fn t2_messages_to_target_accuracy(scale: Scale) -> Vec<Table> {
 
     let r = search(
         |rounds| {
-            Box::new(GossipAggregation::new(GossipConfig {
-                rounds,
-                ..GossipConfig::default()
-            }))
+            Box::new(GossipAggregation::new(GossipConfig { rounds, ..GossipConfig::default() }))
         },
         &mut built,
         target,

@@ -44,12 +44,7 @@ pub fn t3_bias_ablation(scale: Scale) -> Vec<Table> {
             }),
             scale.repeats(),
         );
-        t.push_row(vec![
-            format!("{layout:?}"),
-            f(ht.ks_mean),
-            f(raw.ks_mean),
-            f(naive.ks_mean),
-        ]);
+        t.push_row(vec![format!("{layout:?}"), f(ht.ks_mean), f(raw.ks_mean), f(naive.ks_mean)]);
     }
     vec![t]
 }

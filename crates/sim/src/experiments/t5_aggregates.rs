@@ -39,9 +39,7 @@ pub fn t5_aggregates(scale: Scale) -> Vec<Table> {
     let range_exact = vals.iter().filter(|&&x| (qlo..=qhi).contains(&x)).count() as f64;
 
     let mut t = Table::new(
-        format!(
-            "T5: aggregate-query relative error vs k (range count over [{qlo:.0}, {qhi:.0}])"
-        ),
+        format!("T5: aggregate-query relative error vs k (range count over [{qlo:.0}, {qhi:.0}])"),
         &["k", "COUNT", "SUM", "AVG", "VAR", "range COUNT"],
     );
     for k in probe_sweep(scale) {
@@ -60,14 +58,7 @@ pub fn t5_aggregates(scale: Scale) -> Vec<Table> {
             errs[3] += relative_error(rep.variance, var) / repeats as f64;
             errs[4] += relative_error(rep.range_count(qlo, qhi), range_exact) / repeats as f64;
         }
-        t.push_row(vec![
-            k.to_string(),
-            f(errs[0]),
-            f(errs[1]),
-            f(errs[2]),
-            f(errs[3]),
-            f(errs[4]),
-        ]);
+        t.push_row(vec![k.to_string(), f(errs[0]), f(errs[1]), f(errs[2]), f(errs[3]), f(errs[4])]);
     }
     vec![t]
 }

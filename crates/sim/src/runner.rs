@@ -24,6 +24,10 @@ pub struct RunResult {
     pub mean_hops: f64,
     /// Peers contacted.
     pub peers_contacted: usize,
+    /// Probes the method set out to collect.
+    pub probes_requested: usize,
+    /// Probes that actually succeeded (short of requested under faults).
+    pub probes_succeeded: usize,
     /// Estimated global item count, if the method produces one.
     pub n_hat: Option<f64>,
     /// True item count.
@@ -60,6 +64,8 @@ pub fn run_estimator(
         bytes: report.bytes(),
         mean_hops: report.cost.mean_hops(),
         peers_contacted: report.peers_contacted,
+        probes_requested: report.probes_requested,
+        probes_succeeded: report.probes_succeeded,
         n_hat: report.estimated_total,
         n_true: built.net.total_items(),
     })
@@ -82,6 +88,8 @@ pub struct AggregatedResult {
     pub bytes_mean: f64,
     /// Mean hops per lookup.
     pub hops_mean: f64,
+    /// Mean probes succeeded per run (vs. the method's request count).
+    pub probes_ok_mean: f64,
     /// Mean relative error of N̂ (over runs that produced one).
     pub count_error_mean: Option<f64>,
     /// Runs that succeeded.
@@ -102,6 +110,7 @@ pub fn aggregate(
     let mut msgs = Vec::with_capacity(repeats);
     let mut bytes = Vec::with_capacity(repeats);
     let mut hops = Vec::with_capacity(repeats);
+    let mut ok_probes = Vec::with_capacity(repeats);
     let mut cerr = Vec::new();
     let mut failures = 0;
     for run in 0..repeats {
@@ -112,6 +121,7 @@ pub fn aggregate(
                 msgs.push(r.messages as f64);
                 bytes.push(r.bytes as f64);
                 hops.push(r.mean_hops);
+                ok_probes.push(r.probes_succeeded as f64);
                 if let Some(e) = r.count_error() {
                     cerr.push(e);
                 }
@@ -135,6 +145,7 @@ pub fn aggregate(
         messages_mean: mean(&msgs),
         bytes_mean: mean(&bytes),
         hops_mean: mean(&hops),
+        probes_ok_mean: mean(&ok_probes),
         count_error_mean: if cerr.is_empty() { None } else { Some(mean(&cerr)) },
         runs: ks.len(),
         failures,

@@ -1,11 +1,9 @@
 //! Declarative scenario configuration.
 
 use dde_stats::dist::DistributionKind;
-use serde::{Deserialize, Serialize};
 
 /// How items map to ring positions (see [`dde_ring::Placement`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementMode {
     /// Order-preserving range placement (the paper's regime).
     Range,
@@ -14,8 +12,7 @@ pub enum PlacementMode {
 }
 
 /// How peer identifiers are laid out on the ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeLayout {
     /// Uniformly random node ids (plain consistent hashing).
     UniformIds,
@@ -27,7 +24,7 @@ pub enum NodeLayout {
 }
 
 /// A complete, reproducible experiment scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Number of peers.
     pub peers: usize,
@@ -130,10 +127,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn defaults_are_the_t1_parameters() {
         let s = Scenario::default();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Scenario = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
+        assert_eq!(s.peers, 1024);
+        assert_eq!(s.items, 100_000);
+        assert_eq!(s.domain, (0.0, 1000.0));
+        assert_eq!(s.placement, PlacementMode::Range);
+        assert_eq!(s.layout, NodeLayout::UniformIds);
+        assert_eq!(s.summary_buckets, 8);
+        assert_eq!(s, s.clone());
     }
 }

@@ -66,8 +66,7 @@ impl Distribution for LogNormal {
         }
         let y = (x - self.origin) / self.scale;
         let z = y.ln() / self.sigma;
-        (-0.5 * z * z).exp()
-            / (y * self.sigma * self.scale * (2.0 * std::f64::consts::PI).sqrt())
+        (-0.5 * z * z).exp() / (y * self.sigma * self.scale * (2.0 * std::f64::consts::PI).sqrt())
     }
 
     fn name(&self) -> &'static str {

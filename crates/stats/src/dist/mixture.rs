@@ -27,11 +27,13 @@ impl Mixture {
         assert!(!components.is_empty(), "mixture needs at least one component");
         let total: f64 = components.iter().map(|(w, _)| *w).sum();
         assert!(total > 0.0, "weights must be positive");
-        let components: Vec<(f64, Box<dyn Distribution>)> =
-            components.into_iter().map(|(w, d)| {
+        let components: Vec<(f64, Box<dyn Distribution>)> = components
+            .into_iter()
+            .map(|(w, d)| {
                 assert!(w > 0.0, "non-positive weight {w}");
                 (w / total, d)
-            }).collect();
+            })
+            .collect();
         let mut cum_weights = Vec::with_capacity(components.len());
         let mut acc = 0.0;
         for (w, _) in &components {
@@ -39,10 +41,11 @@ impl Mixture {
             cum_weights.push(acc);
         }
         *cum_weights.last_mut().expect("nonempty") = 1.0;
-        let domain = components.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, d)| {
-            let (dlo, dhi) = d.domain();
-            (lo.min(dlo), hi.max(dhi))
-        });
+        let domain =
+            components.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, d)| {
+                let (dlo, dhi) = d.domain();
+                (lo.min(dlo), hi.max(dhi))
+            });
         Self { components, cum_weights, domain, name }
     }
 
@@ -106,7 +109,11 @@ mod tests {
     fn bimodal() -> Mixture {
         Mixture::new(
             vec![
-                (0.5, Box::new(Truncated::new(Normal::new(25.0, 5.0), 0.0, 100.0)) as Box<dyn Distribution>),
+                (
+                    0.5,
+                    Box::new(Truncated::new(Normal::new(25.0, 5.0), 0.0, 100.0))
+                        as Box<dyn Distribution>,
+                ),
                 (0.5, Box::new(Truncated::new(Normal::new(75.0, 5.0), 0.0, 100.0))),
             ],
             "bimodal",

@@ -33,7 +33,6 @@ pub use zipf::Zipf;
 
 use crate::CdfFn;
 use rand::RngCore;
-use serde::{Deserialize, Serialize};
 
 /// A fully-specified continuous probability distribution on a bounded domain.
 ///
@@ -80,8 +79,7 @@ impl RngCore for RngAdapter<'_> {
 ///
 /// [`DistributionKind::build`] instantiates it on a concrete domain,
 /// truncating/renormalizing as needed so the result is exact on that domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DistributionKind {
     /// Uniform over the domain.
     Uniform,
@@ -132,11 +130,9 @@ impl DistributionKind {
         let w = hi - lo;
         match *self {
             DistributionKind::Uniform => Box::new(Uniform::new(lo, hi)),
-            DistributionKind::Normal { center_frac, std_frac } => Box::new(Truncated::new(
-                Normal::new(lo + center_frac * w, std_frac * w),
-                lo,
-                hi,
-            )),
+            DistributionKind::Normal { center_frac, std_frac } => {
+                Box::new(Truncated::new(Normal::new(lo + center_frac * w, std_frac * w), lo, hi))
+            }
             DistributionKind::Exponential { rate_scale } => {
                 Box::new(Truncated::new(Exponential::new(lo, rate_scale / w), lo, hi))
             }
@@ -245,11 +241,7 @@ pub(crate) mod test_util {
         // inv_cdf is a right-inverse of cdf.
         for &u in &[0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
             let x = d.inv_cdf(u);
-            assert!(
-                (d.cdf(x) - u).abs() < 1e-6,
-                "cdf(inv_cdf({u})) = {} (x = {x})",
-                d.cdf(x)
-            );
+            assert!((d.cdf(x) - u).abs() < 1e-6, "cdf(inv_cdf({u})) = {} (x = {x})", d.cdf(x));
         }
 
         // Samples follow the CDF: one-sample KS test, loose threshold.

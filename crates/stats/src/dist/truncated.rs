@@ -26,10 +26,7 @@ impl<D: Distribution> Truncated<D> {
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad interval [{lo}, {hi}]");
         let f_lo = base.cdf(lo);
         let mass = base.cdf(hi) - f_lo;
-        assert!(
-            mass > 1e-12,
-            "base distribution has no mass in [{lo}, {hi}] (mass = {mass:e})"
-        );
+        assert!(mass > 1e-12, "base distribution has no mass in [{lo}, {hi}] (mass = {mass:e})");
         Self { base, lo, hi, f_lo, mass }
     }
 

@@ -8,14 +8,13 @@
 
 use crate::piecewise::PiecewiseCdf;
 use crate::CdfFn;
-use serde::{Deserialize, Serialize};
 
 /// An equi-depth summary of a (local) dataset: bucket boundaries plus exact
 /// per-bucket counts.
 ///
 /// `count_le` is exact at bucket boundaries and linearly interpolated inside
 /// buckets, so its worst-case error is bounded by the largest bucket count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EquiDepthSummary {
     /// `b + 1` non-decreasing boundary values (empty when the summary is of
     /// an empty dataset).
@@ -71,10 +70,7 @@ impl EquiDepthSummary {
             return Self::empty();
         }
         assert!(boundaries.len() >= 2, "need at least two boundaries");
-        assert!(
-            boundaries.windows(2).all(|w| w[0] <= w[1]),
-            "boundaries not sorted"
-        );
+        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries not sorted");
         let b = boundaries.len() - 1;
         let base = total / b as u64;
         let rem = (total % b as u64) as usize;
@@ -296,12 +292,7 @@ mod tests {
         let s = summary_of(&mut data, 8);
         let pw = s.to_piecewise_cdf().unwrap();
         for x in [0.0, 100.0, 5000.0, 30000.0, 65025.0] {
-            assert!(
-                (pw.cdf(x) - s.cdf(x)).abs() < 1e-9,
-                "x={x}: pw={} s={}",
-                pw.cdf(x),
-                s.cdf(x)
-            );
+            assert!((pw.cdf(x) - s.cdf(x)).abs() < 1e-9, "x={x}: pw={} s={}", pw.cdf(x), s.cdf(x));
         }
     }
 

@@ -5,13 +5,12 @@
 //! densities on a fixed grid.
 
 use crate::CdfFn;
-use serde::{Deserialize, Serialize};
 
 /// An equi-width histogram over `[lo, hi]` with `f64` bin masses.
 ///
 /// Masses are kept as weights (not normalized counts) so histograms can be
 /// merged, scaled, and averaged — the operations gossip aggregation needs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

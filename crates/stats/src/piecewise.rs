@@ -6,11 +6,10 @@
 //! needs `F⁻¹`), and a derivative view for density readout.
 
 use crate::CdfFn;
-use serde::{Deserialize, Serialize};
 
 /// A non-decreasing piecewise-linear function from data values to `[0, 1]`,
 /// interpreted as a CDF.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PiecewiseCdf {
     /// Control points, strictly increasing in `x`, non-decreasing in `F`;
     /// `points[0].1 == 0` and `points[last].1 == 1`.

@@ -65,8 +65,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let seq = SeedSequence::new(42);
-        let a: Vec<u64> = seq.stream(Component::Dataset, 0).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = seq.stream(Component::Dataset, 0).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = seq
+            .stream(Component::Dataset, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = seq
+            .stream(Component::Dataset, 0)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -31,9 +31,8 @@ fn main() {
     let mut rng = SeedSequence::new(scenario.seed).stream(Component::Estimator, 0);
     let initiator = built.net.random_peer(&mut rng).expect("network is nonempty");
     let estimator = DfDde::new(DfDdeConfig::with_probes(96));
-    let report = estimator
-        .estimate(&mut built.net, initiator, &mut rng)
-        .expect("healthy network estimates");
+    let report =
+        estimator.estimate(&mut built.net, initiator, &mut rng).expect("healthy network estimates");
 
     println!(
         "\nestimation cost: {} messages, {:.1} KB, {} peers probed (of {})",
@@ -50,11 +49,7 @@ fn main() {
     let est = &report.estimate;
     println!("\nquantiles (estimated vs true):");
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
-        println!(
-            "  q={q:4}: {:8.1}  vs  {:8.1}",
-            est.quantile(q),
-            built.truth.inv_cdf(q)
-        );
+        println!("  q={q:4}: {:8.1}  vs  {:8.1}", est.quantile(q), built.truth.inv_cdf(q));
     }
 
     println!("\ndensity profile (64-bin histogram of the estimate):");

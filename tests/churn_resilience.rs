@@ -18,7 +18,8 @@ fn graceful_only_churn_loses_no_data() {
     let mut built = build(&scenario());
     let seq = SeedSequence::new(99);
     let mut rng = seq.stream(Component::Churn, 0);
-    let cfg = ChurnConfig { join_rate: 0.1, leave_rate: 0.1, fail_rate: 0.0, stabilize_period: 0.5 };
+    let cfg =
+        ChurnConfig { join_rate: 0.1, leave_rate: 0.1, fail_rate: 0.0, stabilize_period: 0.5 };
     let mut churn = ChurnProcess::new(cfg);
     let before = built.net.total_items();
     let outcome = churn.run(&mut built.net, 15.0, &mut rng);
@@ -32,7 +33,8 @@ fn crashes_lose_only_the_crashed_arcs() {
     let mut built = build(&scenario());
     let seq = SeedSequence::new(101);
     let mut rng = seq.stream(Component::Churn, 0);
-    let cfg = ChurnConfig { join_rate: 0.0, leave_rate: 0.0, fail_rate: 0.05, stabilize_period: 0.5 };
+    let cfg =
+        ChurnConfig { join_rate: 0.0, leave_rate: 0.0, fail_rate: 0.05, stabilize_period: 0.5 };
     let mut churn = ChurnProcess::new(cfg);
     let before = built.net.total_items();
     let outcome = churn.run(&mut built.net, 5.0, &mut rng);
@@ -42,10 +44,7 @@ fn crashes_lose_only_the_crashed_arcs() {
     // Loss proportional-ish to crashed fraction (generous bounds: arcs vary).
     let lost_frac = 1.0 - after as f64 / before as f64;
     let crash_frac = outcome.fails as f64 / (192 + outcome.fails) as f64;
-    assert!(
-        lost_frac < crash_frac * 4.0 + 0.05,
-        "lost {lost_frac:.3} vs crashed {crash_frac:.3}"
-    );
+    assert!(lost_frac < crash_frac * 4.0 + 0.05, "lost {lost_frac:.3} vs crashed {crash_frac:.3}");
 }
 
 #[test]
@@ -56,7 +55,8 @@ fn ring_heals_and_estimation_recovers_after_storm() {
     let mut est_rng = seq.stream(Component::Estimator, 0);
 
     // A violent storm with *no* stabilization budget during it.
-    let cfg = ChurnConfig { join_rate: 0.3, leave_rate: 0.15, fail_rate: 0.15, stabilize_period: 5.0 };
+    let cfg =
+        ChurnConfig { join_rate: 0.3, leave_rate: 0.15, fail_rate: 0.15, stabilize_period: 5.0 };
     let mut churn = ChurnProcess::new(cfg);
     churn.run(&mut built.net, 4.0, &mut churn_rng);
 

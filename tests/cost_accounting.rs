@@ -63,10 +63,7 @@ fn exact_walk_scales_linearly_with_network() {
     let (p1, m1) = msgs[1];
     let ratio = m1 as f64 / m0 as f64;
     let p_ratio = p1 as f64 / p0 as f64;
-    assert!(
-        (ratio / p_ratio - 1.0).abs() < 0.2,
-        "walk cost should scale with P: {msgs:?}"
-    );
+    assert!((ratio / p_ratio - 1.0).abs() < 0.2, "walk cost should scale with P: {msgs:?}");
 }
 
 #[test]
@@ -90,9 +87,8 @@ fn walk_cost_is_steps_exactly() {
     let seq = dde_stats::rng::SeedSequence::new(61);
     let mut rng = seq.stream(dde_stats::rng::Component::Estimator, 8);
     let initiator = built.net.random_peer(&mut rng).unwrap();
-    let report = RandomWalkSampling::new(cfg)
-        .estimate(&mut built.net, initiator, &mut rng)
-        .unwrap();
+    let report =
+        RandomWalkSampling::new(cfg).estimate(&mut built.net, initiator, &mut rng).unwrap();
     assert_eq!(report.cost.count(MessageKind::WalkStep), 2 * (20 + 10 * 5));
     assert_eq!(report.cost.count(MessageKind::Probe), 10);
 }

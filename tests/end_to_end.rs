@@ -64,11 +64,7 @@ fn both_placements_work() {
             .with_seed(23);
         let mut built = build(&scenario);
         let r = run_estimator(&mut built, &DfDde::new(DfDdeConfig::with_probes(96)), 0).unwrap();
-        assert!(
-            r.ks_vs_data < 0.2,
-            "df-dde under {placement:?}: ks = {}",
-            r.ks_vs_data
-        );
+        assert!(r.ks_vs_data < 0.2, "df-dde under {placement:?}: ks = {}", r.ks_vs_data);
     }
 }
 
