@@ -1,16 +1,24 @@
 //! `expts` — regenerates the evaluation's tables and figures.
 //!
 //! ```text
-//! expts [IDS...] [--full] [--csv DIR]
+//! expts [IDS...] [--full] [--csv DIR] [--jobs N]
 //!
 //!   IDS      experiment ids to run (t1 f1 f2 f3 f4 f5 f5b f6 f7 f8 t2 t3);
 //!            default: all of them
 //!   --full   paper-scale sweeps (minutes) instead of quick ones (seconds)
 //!   --csv D  additionally write each table as CSV into directory D
+//!   --jobs N experiment-cell worker threads (default: all cores; output is
+//!            byte-identical for every N — see EXPERIMENTS.md "Runner")
 //! ```
+//!
+//! Tables go to **stdout**; progress and timing lines go to **stderr**, so
+//! `expts ... > out.txt` produces the same bytes regardless of `--jobs` —
+//! the property CI's determinism job diffs.
 
+use dde_sim::exec;
 use dde_sim::experiments::{run_by_id, Scale, ALL_IDS};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
@@ -28,8 +36,16 @@ fn main() {
                 };
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--jobs" => {
+                let jobs = args.next().and_then(|n| n.parse::<usize>().ok());
+                let Some(jobs) = jobs else {
+                    eprintln!("--jobs needs a worker count (0 = all cores)");
+                    std::process::exit(2);
+                };
+                exec::set_jobs(jobs);
+            }
             "--help" | "-h" => {
-                eprintln!("usage: expts [IDS...] [--full] [--csv DIR]");
+                eprintln!("usage: expts [IDS...] [--full] [--csv DIR] [--jobs N]");
                 eprintln!("known ids: {}", ALL_IDS.join(" "));
                 return;
             }
@@ -53,11 +69,28 @@ fn main() {
     };
     println!("ring-dde experiment suite ({label} scale)\n");
 
+    let jobs = exec::jobs();
+    let suite_start = Instant::now();
+    let mut total_cells = 0u64;
+    let mut total_cpu = Duration::ZERO;
+    let _ = exec::take_stats(); // start the counters from zero
+
     for id in &ids {
+        let start = Instant::now();
         let Some(tables) = run_by_id(id, scale) else {
             eprintln!("unknown experiment id '{id}' (known: {})", ALL_IDS.join(" "));
             std::process::exit(2);
         };
+        let wall = start.elapsed();
+        let stats = exec::take_stats();
+        total_cells += stats.cells;
+        total_cpu += stats.cpu;
+        eprintln!(
+            "[{id}] {} cells in {:.2}s wall, {:.2}s cell time (jobs={jobs})",
+            stats.cells,
+            wall.as_secs_f64(),
+            stats.cpu.as_secs_f64(),
+        );
         for (i, table) in tables.iter().enumerate() {
             println!("{}", table.to_text());
             if let Some(dir) = &csv_dir {
@@ -69,4 +102,11 @@ fn main() {
             }
         }
     }
+    eprintln!(
+        "suite: {} experiments, {} cells, {:.2}s wall, {:.2}s cell time, jobs={jobs}",
+        ids.len(),
+        total_cells,
+        suite_start.elapsed().as_secs_f64(),
+        total_cpu.as_secs_f64(),
+    );
 }

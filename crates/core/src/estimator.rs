@@ -82,7 +82,11 @@ impl EstimationReport {
 /// Implementations must charge **all** their traffic to the network's
 /// [`MessageStats`]; the driver snapshots the counters around the call to
 /// attribute cost.
-pub trait DensityEstimator {
+///
+/// Estimators are `Send + Sync`: they are plain configuration (all run
+/// state lives in the network and the per-run RNG), which lets the parallel
+/// experiment runner share them across worker threads.
+pub trait DensityEstimator: Send + Sync {
     /// Short name used in experiment tables (e.g. `"df-dde"`).
     fn name(&self) -> &'static str;
 

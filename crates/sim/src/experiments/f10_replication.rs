@@ -11,6 +11,7 @@
 use super::t1_defaults::default_scenario;
 use super::Scale;
 use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
 use dde_ring::{ChurnConfig, ChurnProcess, MessageKind};
 use dde_stats::rng::{Component, SeedSequence};
@@ -36,31 +37,47 @@ pub fn f10_replication(scale: Scale) -> Vec<Table> {
         ),
         &["r", "survival", "replicate msgs", "replicate KB"],
     );
-    for r in replication_sweep(scale) {
-        let mut survival = 0.0;
-        let mut msgs = 0.0;
-        let mut kb = 0.0;
+    let sweep = replication_sweep(scale);
+    // One cell per (r, repeat): each crash-storm realization is independent.
+    let mut plan = ExecPlan::new();
+    for &r in &sweep {
         for rep in 0..repeats {
-            let mut built = build(&scenario);
-            built.net.set_replication(r);
-            let before_items = built.net.total_items();
-            let seq = SeedSequence::new(scenario.seed ^ 0xF10);
-            let mut churn_rng = seq.stream(Component::Churn, rep as u64);
-            let cfg =
-                ChurnConfig { join_rate: 0.0, leave_rate: 0.0, fail_rate, stabilize_period: 0.5 };
-            let stats_before = built.net.stats().clone();
-            let mut churn = ChurnProcess::new(cfg);
-            churn.run(&mut built.net, duration, &mut churn_rng);
-            // Settle: let promotion finish.
-            for _ in 0..6 {
-                built.net.stabilize_round();
-            }
-            let delta = built.net.stats().since(&stats_before);
-            survival += built.net.total_items() as f64 / before_items as f64 / repeats as f64;
-            msgs += delta.count(MessageKind::Replicate) as f64 / repeats as f64;
-            kb += delta.total_bytes() as f64 / 1024.0 / repeats as f64;
+            let scenario = &scenario;
+            plan.push(move || {
+                let mut built = build(scenario);
+                built.net.set_replication(r);
+                let before_items = built.net.total_items();
+                let seq = SeedSequence::new(scenario.seed ^ 0xF10);
+                let mut churn_rng = seq.stream(Component::Churn, rep as u64);
+                let cfg = ChurnConfig {
+                    join_rate: 0.0,
+                    leave_rate: 0.0,
+                    fail_rate,
+                    stabilize_period: 0.5,
+                };
+                let stats_before = built.net.stats().clone();
+                let mut churn = ChurnProcess::new(cfg);
+                churn.run(&mut built.net, duration, &mut churn_rng);
+                // Settle: let promotion finish.
+                for _ in 0..6 {
+                    built.net.stabilize_round();
+                }
+                let delta = built.net.stats().since(&stats_before);
+                (
+                    built.net.total_items() as f64 / before_items as f64,
+                    delta.count(MessageKind::Replicate) as f64,
+                    delta.total_bytes() as f64 / 1024.0,
+                )
+            });
         }
-        t.push_row(vec![r.to_string(), f(survival), f(msgs), f(kb)]);
+    }
+    let results = plan.run();
+    for (i, r) in sweep.iter().enumerate() {
+        let runs = &results[i * repeats..(i + 1) * repeats];
+        let mean = |g: &dyn Fn(&(f64, f64, f64)) -> f64| {
+            runs.iter().map(|c| g(&c.value)).sum::<f64>() / repeats as f64
+        };
+        t.push_row(vec![r.to_string(), f(mean(&|v| v.0)), f(mean(&|v| v.1)), f(mean(&|v| v.2))]);
     }
     vec![t]
 }

@@ -14,9 +14,9 @@
 
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use crate::scenario::Scenario;
 use dde_core::{
     DensityEstimator, DfDde, DfDdeConfig, GossipAggregation, GossipConfig, RandomWalkConfig,
@@ -39,35 +39,50 @@ pub fn sweep_plan(scenario: &Scenario, loss: f64) -> FaultPlan {
     FaultPlan::new(scenario.seed ^ 0xFA17).with_loss(loss).with_reply_loss(loss / 2.0)
 }
 
-/// Aggregates one estimator on a fresh build with the given plan installed.
+/// Aggregates one estimator on a fresh build with the given plan installed
+/// — one parallel-runner cell.
 fn faulted_aggregate(
     scenario: &Scenario,
     loss: f64,
     estimator: &dyn DensityEstimator,
     repeats: usize,
 ) -> crate::runner::AggregatedResult {
-    let mut built = build(scenario);
-    built.net.set_fault_plan(sweep_plan(scenario, loss));
-    aggregate(&mut built, estimator, repeats)
+    aggregate_cell(
+        scenario,
+        |built| built.net.set_fault_plan(sweep_plan(scenario, loss)),
+        estimator,
+        repeats,
+    )
 }
 
 /// Builds figure F11's series.
 pub fn f11_faults(scale: Scale) -> Vec<Table> {
     let scenario = default_scenario(scale);
     let k = default_probes(scale);
-    let mut t = Table::new(
-        format!("F11: accuracy under message faults (reply loss = loss/2, k = {k}, retries on)"),
-        &["loss", "df-dde ks", "±std", "ok/k", "msgs", "cost ×", "gossip ks", "walk ks"],
-    );
+    let losses = loss_sweep(scale);
     let dfdde = DfDde::new(DfDdeConfig::with_probes(k));
     let gossip = GossipAggregation::new(GossipConfig::default());
     let walk =
         RandomWalkSampling::new(RandomWalkConfig { peers: k, ..RandomWalkConfig::default() });
+    // Three cells per loss point, one per method; the estimators are shared
+    // by reference (they are stateless config).
+    let mut plan = ExecPlan::new();
+    for &loss in &losses {
+        let methods: [&dyn DensityEstimator; 3] = [&dfdde, &gossip, &walk];
+        for est in methods {
+            let scenario = &scenario;
+            plan.push(move || faulted_aggregate(scenario, loss, est, scale.repeats()));
+        }
+    }
+    let results = plan.run();
+    let mut t = Table::new(
+        format!("F11: accuracy under message faults (reply loss = loss/2, k = {k}, retries on)"),
+        &["loss", "df-dde ks", "±std", "ok/k", "msgs", "cost ×", "gossip ks", "walk ks"],
+    );
     let mut df_msgs_clean = None;
-    for loss in loss_sweep(scale) {
-        let df = faulted_aggregate(&scenario, loss, &dfdde, scale.repeats());
-        let go = faulted_aggregate(&scenario, loss, &gossip, scale.repeats());
-        let wa = faulted_aggregate(&scenario, loss, &walk, scale.repeats());
+    for (i, loss) in losses.iter().enumerate() {
+        let cell = |j: usize| &results[i * 3 + j].value;
+        let (df, go, wa) = (cell(0), cell(1), cell(2));
         let clean = *df_msgs_clean.get_or_insert(df.messages_mean);
         t.push_row(vec![
             format!("{loss}"),

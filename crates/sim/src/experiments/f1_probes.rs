@@ -8,9 +8,9 @@
 
 use super::t1_defaults::default_scenario;
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use dde_core::{
     DensityEstimator, DfDde, DfDdeConfig, PoolWeighting, RandomWalkConfig, RandomWalkSampling,
     UniformPeerConfig, UniformPeerSampling,
@@ -27,36 +27,25 @@ pub fn probe_sweep(scale: Scale) -> Vec<usize> {
 /// Builds figure F1's series.
 pub fn f1_accuracy_vs_probes(scale: Scale) -> Vec<Table> {
     let scenario = default_scenario(scale);
-    let mut built = build(&scenario);
+    let repeats = scale.repeats();
+    let ks = probe_sweep(scale);
+    let mut plan = ExecPlan::new();
+    for &k in &ks {
+        // One cell per (k, estimator): fresh build, independent of every
+        // other cell, so the grid parallelizes without ordering effects.
+        for estimator in sampling_estimators(k) {
+            let scenario = &scenario;
+            plan.push(move || aggregate_cell(scenario, |_| (), estimator.as_ref(), repeats));
+        }
+    }
+    let results = plan.run();
     let mut t = Table::new(
         "F1: KS accuracy vs probes k (mean over repeats; msgs = df-dde mean)",
         &["k", "df-dde", "±std", "uniform-peer", "uniform-peer-cw", "random-walk", "msgs(df-dde)"],
     );
-    for k in probe_sweep(scale) {
-        let dfdde =
-            aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
-        let up = aggregate(
-            &mut built,
-            &UniformPeerSampling::new(UniformPeerConfig {
-                peers: k,
-                ..UniformPeerConfig::default()
-            }),
-            scale.repeats(),
-        );
-        let upcw = aggregate(
-            &mut built,
-            &UniformPeerSampling::new(UniformPeerConfig {
-                peers: k,
-                weighting: PoolWeighting::CountWeighted,
-                ..UniformPeerConfig::default()
-            }),
-            scale.repeats(),
-        );
-        let walk = aggregate(
-            &mut built,
-            &RandomWalkSampling::new(RandomWalkConfig { peers: k, ..RandomWalkConfig::default() }),
-            scale.repeats(),
-        );
+    for (i, k) in ks.iter().enumerate() {
+        let cell = |j: usize| &results[i * 4 + j].value;
+        let (dfdde, up, upcw, walk) = (cell(0), cell(1), cell(2), cell(3));
         t.push_row(vec![
             k.to_string(),
             f(dfdde.ks_mean),

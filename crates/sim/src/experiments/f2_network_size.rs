@@ -6,9 +6,9 @@
 
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use dde_core::{DfDde, DfDdeConfig};
 
 /// Network sizes swept.
@@ -22,14 +22,26 @@ pub fn size_sweep(scale: Scale) -> Vec<usize> {
 /// Builds figure F2's series.
 pub fn f2_accuracy_vs_network_size(scale: Scale) -> Vec<Table> {
     let k = default_probes(scale);
+    let sizes = size_sweep(scale);
+    let mut plan = ExecPlan::new();
+    for &p in &sizes {
+        plan.push(move || {
+            let scenario = default_scenario(scale).with_peers(p);
+            aggregate_cell(
+                &scenario,
+                |_| (),
+                &DfDde::new(DfDdeConfig::with_probes(k)),
+                scale.repeats(),
+            )
+        });
+    }
+    let results = plan.run();
     let mut t = Table::new(
         format!("F2: accuracy & cost vs network size P (k = {k})"),
         &["P", "ks(gen)", "±std", "msgs", "hops/lookup"],
     );
-    for p in size_sweep(scale) {
-        let scenario = default_scenario(scale).with_peers(p);
-        let mut built = build(&scenario);
-        let a = aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
+    for (p, r) in sizes.iter().zip(&results) {
+        let a = &r.value;
         t.push_row(vec![
             p.to_string(),
             f(a.ks_mean),

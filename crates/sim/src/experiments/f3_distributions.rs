@@ -7,33 +7,45 @@
 
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
-use dde_core::{DfDde, DfDdeConfig, UniformPeerConfig, UniformPeerSampling};
+use crate::runner::aggregate_cell;
+use dde_core::{DensityEstimator, DfDde, DfDdeConfig, UniformPeerConfig, UniformPeerSampling};
 use dde_stats::dist::DistributionKind;
 
 /// Builds figure F3's series.
 pub fn f3_distribution_free(scale: Scale) -> Vec<Table> {
     let k = default_probes(scale);
+    let suite = DistributionKind::standard_suite();
+    let mut plan = ExecPlan::new();
+    for kind in &suite {
+        let scenario = default_scenario(scale).with_distribution(kind.clone());
+        // Three cells per distribution: df-dde, the biased baseline, and the
+        // exact walk (1 repeat — it is deterministic up to its start peer).
+        let cells: Vec<(Box<dyn DensityEstimator>, usize)> = vec![
+            (Box::new(DfDde::new(DfDdeConfig::with_probes(k))), scale.repeats()),
+            (
+                Box::new(UniformPeerSampling::new(UniformPeerConfig {
+                    peers: k,
+                    ..UniformPeerConfig::default()
+                })),
+                scale.repeats(),
+            ),
+            (Box::new(dde_core::ExactAggregation::new()), 1),
+        ];
+        for (estimator, repeats) in cells {
+            let scenario = scenario.clone();
+            plan.push(move || aggregate_cell(&scenario, |_| (), estimator.as_ref(), repeats));
+        }
+    }
+    let results = plan.run();
     let mut t = Table::new(
         format!("F3: KS accuracy per data distribution (k = {k})"),
         &["distribution", "df-dde", "±std", "uniform-peer", "exact-walk"],
     );
-    for kind in DistributionKind::standard_suite() {
-        let scenario = default_scenario(scale).with_distribution(kind.clone());
-        let mut built = build(&scenario);
-        let dfdde =
-            aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
-        let naive = aggregate(
-            &mut built,
-            &UniformPeerSampling::new(UniformPeerConfig {
-                peers: k,
-                ..UniformPeerConfig::default()
-            }),
-            scale.repeats(),
-        );
-        let exact = aggregate(&mut built, &dde_core::ExactAggregation::new(), 1);
+    for (i, kind) in suite.iter().enumerate() {
+        let cell = |j: usize| &results[i * 3 + j].value;
+        let (dfdde, naive, exact) = (cell(0), cell(1), cell(2));
         t.push_row(vec![
             kind.label().into(),
             f(dfdde.ks_mean),

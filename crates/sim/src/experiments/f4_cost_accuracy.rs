@@ -8,76 +8,77 @@
 
 use super::t1_defaults::default_scenario;
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use dde_core::{
-    DfDde, DfDdeConfig, ExactAggregation, GossipAggregation, GossipConfig, PoolWeighting,
-    UniformPeerConfig, UniformPeerSampling,
+    DensityEstimator, DfDde, DfDdeConfig, ExactAggregation, GossipAggregation, GossipConfig,
+    PoolWeighting, UniformPeerConfig, UniformPeerSampling,
 };
 
 /// Builds figure F4's frontier points.
 pub fn f4_cost_accuracy_frontier(scale: Scale) -> Vec<Table> {
     let scenario = default_scenario(scale);
-    let mut built = build(&scenario);
-    let mut t = Table::new(
-        "F4: cost-accuracy frontier (each row one operating point)",
-        &["method", "budget", "msgs", "KB", "ks(gen)"],
-    );
     let budgets: &[usize] = match scale {
         Scale::Quick => &[32, 128],
         Scale::Full => &[16, 64, 256],
     };
+
+    // One operating point per row; each becomes one cell in table order.
+    let mut points: Vec<(String, String, Box<dyn DensityEstimator>, usize)> = Vec::new();
     for &k in budgets {
-        let a = aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
-        t.push_row(vec![
+        points.push((
             "df-dde".into(),
             format!("k={k}"),
-            f(a.messages_mean),
-            f(a.bytes_mean / 1024.0),
-            f(a.ks_mean),
-        ]);
+            Box::new(DfDde::new(DfDdeConfig::with_probes(k))),
+            scale.repeats(),
+        ));
     }
     for &k in budgets {
-        let a = aggregate(
-            &mut built,
-            &UniformPeerSampling::new(UniformPeerConfig {
+        points.push((
+            "uniform-peer-cw".into(),
+            format!("k={k}"),
+            Box::new(UniformPeerSampling::new(UniformPeerConfig {
                 peers: k,
                 weighting: PoolWeighting::CountWeighted,
                 ..UniformPeerConfig::default()
-            }),
+            })),
             scale.repeats(),
-        );
-        t.push_row(vec![
-            "uniform-peer-cw".into(),
-            format!("k={k}"),
-            f(a.messages_mean),
-            f(a.bytes_mean / 1024.0),
-            f(a.ks_mean),
-        ]);
+        ));
     }
     for rounds in [10usize, 30] {
-        let a = aggregate(
-            &mut built,
-            &GossipAggregation::new(GossipConfig { rounds, ..GossipConfig::default() }),
-            1,
-        );
-        t.push_row(vec![
+        points.push((
             "gossip".into(),
             format!("r={rounds}"),
+            Box::new(GossipAggregation::new(GossipConfig { rounds, ..GossipConfig::default() })),
+            1,
+        ));
+    }
+    points.push(("exact-walk".into(), "full".into(), Box::new(ExactAggregation::new()), 1));
+
+    let mut plan = ExecPlan::new();
+    let mut labels = Vec::with_capacity(points.len());
+    for (method, budget, estimator, repeats) in points {
+        labels.push((method, budget));
+        let scenario = &scenario;
+        plan.push(move || aggregate_cell(scenario, |_| (), estimator.as_ref(), repeats));
+    }
+    let results = plan.run();
+
+    let mut t = Table::new(
+        "F4: cost-accuracy frontier (each row one operating point)",
+        &["method", "budget", "msgs", "KB", "ks(gen)"],
+    );
+    for ((method, budget), r) in labels.into_iter().zip(&results) {
+        let a = &r.value;
+        t.push_row(vec![
+            method,
+            budget,
             f(a.messages_mean),
             f(a.bytes_mean / 1024.0),
             f(a.ks_mean),
         ]);
     }
-    let a = aggregate(&mut built, &ExactAggregation::new(), 1);
-    t.push_row(vec![
-        "exact-walk".into(),
-        "full".into(),
-        f(a.messages_mean),
-        f(a.bytes_mean / 1024.0),
-        f(a.ks_mean),
-    ]);
     vec![t]
 }
 

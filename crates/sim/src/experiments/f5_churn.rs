@@ -12,6 +12,7 @@
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
 use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
 use crate::scenario::Scenario;
 use dde_core::{DensityEstimator, DfDde, DfDdeConfig};
@@ -59,16 +60,28 @@ pub fn churned_run(
 pub fn f5_accuracy_under_churn(scale: Scale) -> Vec<Table> {
     let scenario = default_scenario(scale);
     let k = default_probes(scale);
+    let rates = churn_sweep(scale);
+    let repeats = scale.repeats();
+    // Finest useful grain: one cell per (rate, run) — `churned_run` already
+    // builds its own network, so runs are fully independent.
+    let mut plan = ExecPlan::new();
+    for &rate in &rates {
+        for run in 0..repeats {
+            let scenario = &scenario;
+            plan.push(move || churned_run(scenario, rate, k, run as u64));
+        }
+    }
+    let results = plan.run();
     let mut t = Table::new(
         format!("F5: accuracy under churn (10 time units of churn, then estimate; k = {k})"),
         &["churn rate", "ks(surviving)", "±std", "timeouts", "probe shortfall"],
     );
-    for rate in churn_sweep(scale) {
+    for (i, rate) in rates.iter().enumerate() {
         let mut ks = Vec::new();
         let mut touts = Vec::new();
         let mut fails = Vec::new();
-        for run in 0..scale.repeats() {
-            if let Some((k_, to, fl)) = churned_run(&scenario, rate, k, run as u64) {
+        for r in &results[i * repeats..(i + 1) * repeats] {
+            if let Some((k_, to, fl)) = r.value {
                 ks.push(k_);
                 touts.push(to as f64);
                 fails.push(fl as f64);

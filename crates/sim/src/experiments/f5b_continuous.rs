@@ -17,6 +17,7 @@
 use super::t1_defaults::default_scenario;
 use super::Scale;
 use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
 use dde_core::{ContinuousConfig, ContinuousEstimator};
 use dde_ring::{ChurnConfig, ChurnProcess, Network, RingId};
@@ -126,11 +127,22 @@ pub fn f5b_continuous_refresh(scale: Scale) -> Vec<Table> {
         ),
         &["refresh/tick", "ks(current) last-4-ticks"],
     );
-    for refresh in refresh_sweep(scale) {
-        let mut ks = 0.0;
+    let sweep = refresh_sweep(scale);
+    // One cell per (refresh, repeat): `monitored_run` owns its whole world
+    // (build + churn + drift + estimator), so the grid is fully parallel.
+    let mut plan = ExecPlan::new();
+    for &refresh in &sweep {
         for r in 0..repeats {
-            ks += monitored_run(&scenario, refresh, r as u64, ticks) / repeats as f64;
+            let scenario = &scenario;
+            plan.push(move || monitored_run(scenario, refresh, r as u64, ticks));
         }
+    }
+    let results = plan.run();
+    for (i, refresh) in sweep.iter().enumerate() {
+        let ks = results[i * repeats..(i + 1) * repeats]
+            .iter()
+            .map(|r| r.value / repeats as f64)
+            .sum::<f64>();
         t.push_row(vec![refresh.to_string(), f(ks)]);
     }
     vec![t]

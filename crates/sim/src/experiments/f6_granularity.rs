@@ -13,9 +13,9 @@
 
 use super::t1_defaults::default_scenario;
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use dde_core::{DfDde, DfDdeConfig};
 use dde_stats::dist::DistributionKind;
 
@@ -39,13 +39,26 @@ pub fn f6_summary_granularity(scale: Scale) -> Vec<Table> {
         format!("F6: accuracy vs summary granularity b (narrow-spike data, P = {peers}, k = {k})"),
         &["buckets b", "ks(gen)", "±std", "KB per estimate"],
     );
-    for b in bucket_sweep(scale) {
-        let scenario = default_scenario(scale)
-            .with_peers(peers)
-            .with_distribution(spike.clone())
-            .with_summary_buckets(b);
-        let mut built = build(&scenario);
-        let a = aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
+    let buckets = bucket_sweep(scale);
+    let mut plan = ExecPlan::new();
+    for &b in &buckets {
+        let spike = spike.clone();
+        plan.push(move || {
+            let scenario = default_scenario(scale)
+                .with_peers(peers)
+                .with_distribution(spike)
+                .with_summary_buckets(b);
+            aggregate_cell(
+                &scenario,
+                |_| (),
+                &DfDde::new(DfDdeConfig::with_probes(k)),
+                scale.repeats(),
+            )
+        });
+    }
+    let results = plan.run();
+    for (b, r) in buckets.iter().zip(&results) {
+        let a = &r.value;
         t.push_row(vec![b.to_string(), f(a.ks_mean), f(a.ks_std), f(a.bytes_mean / 1024.0)]);
     }
     vec![t]

@@ -7,9 +7,9 @@
 
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use dde_core::{DfDde, DfDdeConfig};
 
 /// Dataset sizes swept.
@@ -27,10 +27,22 @@ pub fn f7_dataset_size(scale: Scale) -> Vec<Table> {
         format!("F7: accuracy & cost vs dataset size N (k = {k})"),
         &["N", "ks(gen)", "ks(data)", "msgs", "N-hat rel.err"],
     );
-    for n in dataset_sweep(scale) {
-        let scenario = default_scenario(scale).with_items(n);
-        let mut built = build(&scenario);
-        let a = aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
+    let sizes = dataset_sweep(scale);
+    let mut plan = ExecPlan::new();
+    for &n in &sizes {
+        plan.push(move || {
+            let scenario = default_scenario(scale).with_items(n);
+            aggregate_cell(
+                &scenario,
+                |_| (),
+                &DfDde::new(DfDdeConfig::with_probes(k)),
+                scale.repeats(),
+            )
+        });
+    }
+    let results = plan.run();
+    for (n, r) in sizes.iter().zip(&results) {
+        let a = &r.value;
         t.push_row(vec![
             n.to_string(),
             f(a.ks_mean),

@@ -7,6 +7,7 @@
 use super::t1_defaults::default_scenario;
 use super::Scale;
 use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
 use dde_ring::RingId;
 use dde_ring::{ChurnConfig, ChurnProcess};
@@ -31,43 +32,53 @@ pub fn f8_routing_hops(scale: Scale) -> Vec<Table> {
         format!("F8: routing hops vs network size ({lookups} lookups/point)"),
         &["P", "log2(P)", "hops (healthy)", "hops (churned)", "hops/log2(P)"],
     );
-    for p in size_sweep(scale) {
-        let scenario = default_scenario(scale).with_peers(p).with_items(1_000);
-        let seq = SeedSequence::new(scenario.seed ^ 0xF8);
-        let mut rng = seq.stream(Component::Workload, p as u64);
+    let sizes = size_sweep(scale);
+    // One cell per P; each cell builds its healthy and churned rings itself.
+    let mut plan = ExecPlan::new();
+    for &p in &sizes {
+        plan.push(move || {
+            let scenario = default_scenario(scale).with_peers(p).with_items(1_000);
+            let seq = SeedSequence::new(scenario.seed ^ 0xF8);
+            let mut rng = seq.stream(Component::Workload, p as u64);
 
-        // Healthy ring.
-        let mut built = build(&scenario);
-        let from = built.net.random_peer(&mut rng).expect("nonempty");
-        let mut hops_healthy = 0u64;
-        for _ in 0..lookups {
-            let target = RingId(rng.gen());
-            if let Ok(r) = built.net.lookup(from, target) {
-                hops_healthy += u64::from(r.hops);
+            // Healthy ring.
+            let mut built = build(&scenario);
+            let from = built.net.random_peer(&mut rng).expect("nonempty");
+            let mut hops_healthy = 0u64;
+            for _ in 0..lookups {
+                let target = RingId(rng.gen());
+                if let Ok(r) = built.net.lookup(from, target) {
+                    hops_healthy += u64::from(r.hops);
+                }
             }
-        }
 
-        // Churned ring (no full repair: fingers stay stale).
-        let mut built = build(&scenario);
-        let mut churn_rng = seq.stream(Component::Churn, p as u64);
-        let mut churn = ChurnProcess::new(ChurnConfig::symmetric(0.1, 1.0));
-        churn.run(&mut built.net, 5.0, &mut churn_rng);
-        let mut from = built.net.random_peer(&mut rng).expect("nonempty");
-        let mut hops_churned = 0u64;
-        let mut ok = 0u64;
-        for _ in 0..lookups {
-            if !built.net.is_alive(from) {
-                from = built.net.random_peer(&mut rng).expect("nonempty");
+            // Churned ring (no full repair: fingers stay stale).
+            let mut built = build(&scenario);
+            let mut churn_rng = seq.stream(Component::Churn, p as u64);
+            let mut churn = ChurnProcess::new(ChurnConfig::symmetric(0.1, 1.0));
+            churn.run(&mut built.net, 5.0, &mut churn_rng);
+            let mut from = built.net.random_peer(&mut rng).expect("nonempty");
+            let mut hops_churned = 0u64;
+            let mut ok = 0u64;
+            for _ in 0..lookups {
+                if !built.net.is_alive(from) {
+                    from = built.net.random_peer(&mut rng).expect("nonempty");
+                }
+                let target = RingId(rng.gen());
+                if let Ok(r) = built.net.lookup(from, target) {
+                    hops_churned += u64::from(r.hops);
+                    ok += 1;
+                }
             }
-            let target = RingId(rng.gen());
-            if let Ok(r) = built.net.lookup(from, target) {
-                hops_churned += u64::from(r.hops);
-                ok += 1;
-            }
-        }
 
-        let mean_h = hops_healthy as f64 / lookups as f64;
-        let mean_c = if ok > 0 { hops_churned as f64 / ok as f64 } else { f64::NAN };
+            let mean_h = hops_healthy as f64 / lookups as f64;
+            let mean_c = if ok > 0 { hops_churned as f64 / ok as f64 } else { f64::NAN };
+            (mean_h, mean_c)
+        });
+    }
+    let results = plan.run();
+    for (&p, r) in sizes.iter().zip(&results) {
+        let (mean_h, mean_c) = r.value;
         let log2p = (p as f64).log2();
         t.push_row(vec![p.to_string(), f(log2p), f(mean_h), f(mean_c), f(mean_h / log2p)]);
     }

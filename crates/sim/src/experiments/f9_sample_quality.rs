@@ -17,6 +17,7 @@
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
 use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
 use dde_core::{DensityEstimator, DfDde, DfDdeConfig, SampleMode};
 use dde_stats::rng::{Component, SeedSequence};
@@ -38,41 +39,57 @@ pub fn f9_sample_quality(scale: Scale) -> Vec<Table> {
         format!("F9: Phase-2 sample quality vs m (k = {k}; KS of sample ECDF vs generator)"),
         &["m", "synthetic ks", "remote ks", "remote msgs extra", "skeleton ks (floor)"],
     );
-    for m in sample_sweep(scale) {
-        let mut syn = 0.0;
-        let mut rem = 0.0;
-        let mut extra = 0.0;
-        let mut floor = 0.0;
-        let repeats = scale.repeats();
+    let sweep = sample_sweep(scale);
+    let repeats = scale.repeats();
+    // One cell per (m, run); each returns this run's raw scores.
+    let mut plan = ExecPlan::new();
+    for &m in &sweep {
         for run in 0..repeats {
-            let mut built = build(&scenario);
-            let seq = SeedSequence::new(scenario.seed ^ 0xF9);
-            let mut rng = seq.stream(Component::Estimator, (run * 100 + m) as u64);
-            let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+            let scenario = &scenario;
+            plan.push(move || {
+                let mut built = build(scenario);
+                let seq = SeedSequence::new(scenario.seed ^ 0xF9);
+                let mut rng = seq.stream(Component::Estimator, (run * 100 + m) as u64);
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
 
-            // Skeleton-only estimate (shared Phase 1 cost baseline).
-            let base = DfDde::new(DfDdeConfig::with_probes(k))
+                // Skeleton-only estimate (shared Phase 1 cost baseline).
+                let base = DfDde::new(DfDdeConfig::with_probes(k))
+                    .estimate(&mut built.net, initiator, &mut rng)
+                    .expect("estimates");
+                let floor = base.estimate.ks_to(built.truth.as_ref());
+
+                // Synthetic samples from that skeleton.
+                let synthetic = base.estimate.synthesize_samples(m, &mut rng);
+                let syn = Ecdf::new(synthetic).ks_distance_to(built.truth.as_ref());
+
+                // Remote tuples (fresh run including Phase 2).
+                let remote = DfDde::new(DfDdeConfig {
+                    sample_mode: SampleMode::RemoteTuples { m },
+                    ..DfDdeConfig::with_probes(k)
+                })
                 .estimate(&mut built.net, initiator, &mut rng)
                 .expect("estimates");
-            floor += base.estimate.ks_to(built.truth.as_ref()) / repeats as f64;
-
-            // Synthetic samples from that skeleton.
-            let synthetic = base.estimate.synthesize_samples(m, &mut rng);
-            syn += Ecdf::new(synthetic).ks_distance_to(built.truth.as_ref()) / repeats as f64;
-
-            // Remote tuples (fresh run including Phase 2).
-            let remote = DfDde::new(DfDdeConfig {
-                sample_mode: SampleMode::RemoteTuples { m },
-                ..DfDdeConfig::with_probes(k)
-            })
-            .estimate(&mut built.net, initiator, &mut rng)
-            .expect("estimates");
-            let tuples = remote.estimate.samples().to_vec();
-            if !tuples.is_empty() {
-                rem += Ecdf::new(tuples).ks_distance_to(built.truth.as_ref()) / repeats as f64;
-            }
-            extra += (remote.messages().saturating_sub(base.messages())) as f64 / repeats as f64;
+                let tuples = remote.estimate.samples().to_vec();
+                let rem = (!tuples.is_empty())
+                    .then(|| Ecdf::new(tuples).ks_distance_to(built.truth.as_ref()));
+                let extra = remote.messages().saturating_sub(base.messages()) as f64;
+                (syn, rem, extra, floor)
+            });
         }
+    }
+    let results = plan.run();
+    type RunScores = (f64, Option<f64>, f64, f64);
+    for (i, m) in sweep.iter().enumerate() {
+        let runs = &results[i * repeats..(i + 1) * repeats];
+        let mean = |g: &dyn Fn(&RunScores) -> f64| {
+            runs.iter().map(|r| g(&r.value)).sum::<f64>() / repeats as f64
+        };
+        let syn = mean(&|v| v.0);
+        // Runs whose remote phase returned no tuples contribute 0, exactly
+        // as the serial accumulation did.
+        let rem = mean(&|v| v.1.unwrap_or(0.0));
+        let extra = mean(&|v| v.2);
+        let floor = mean(&|v| v.3);
         t.push_row(vec![m.to_string(), f(syn), f(rem), f(extra), f(floor)]);
     }
     vec![t]

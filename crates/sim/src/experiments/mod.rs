@@ -4,6 +4,17 @@
 //! Every experiment is a function from a [`Scale`] to one or more
 //! [`Table`]s, regenerable via `cargo run -p dde-bench --bin expts -- <id>`
 //! and benchmarked by the matching Criterion target in `dde-bench`.
+//!
+//! # Determinism and parallelism
+//!
+//! Each experiment decomposes into independent *cells* — (scenario build,
+//! estimator, repeat block) triples — pushed onto an [`crate::exec::ExecPlan`]
+//! in canonical (table) order and executed by a work-stealing worker pool
+//! sized by [`crate::exec::jobs`]. Cells build their own `BuiltScenario` and
+//! draw randomness only from `SeedSequence::new(scenario.seed)` streams keyed
+//! by `(Component, run_index)`, so a table's bytes depend only on the
+//! scenario seeds, never on the worker count or scheduling order.
+//! `crates/sim/tests/determinism.rs` pins this guarantee.
 
 pub mod f10_replication;
 pub mod f11_faults;

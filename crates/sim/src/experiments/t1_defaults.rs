@@ -2,9 +2,9 @@
 //! default scenario (the anchor every figure varies one axis of).
 
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use crate::scenario::Scenario;
 use dde_core::{DfDde, DfDdeConfig, ExactAggregation};
 
@@ -41,17 +41,21 @@ pub fn t1_default_parameters(scale: Scale) -> Vec<Table> {
     params.push_row(vec!["probes (k)".into(), default_probes(scale).to_string()]);
     params.push_row(vec!["repeats".into(), scale.repeats().to_string()]);
 
-    let mut built = build(&s);
     let mut health = Table::new(
         "T1b: default-scenario health",
         &["method", "ks(gen)", "ks(data)", "msgs", "KB", "hops/lookup", "N err"],
     );
+    let mut plan = ExecPlan::new();
     for est in [
         Box::new(DfDde::new(DfDdeConfig::with_probes(default_probes(scale))))
             as Box<dyn dde_core::DensityEstimator>,
         Box::new(ExactAggregation::new()),
     ] {
-        let a = aggregate(&mut built, est.as_ref(), scale.repeats());
+        let s = &s;
+        plan.push(move || aggregate_cell(s, |_| (), est.as_ref(), scale.repeats()));
+    }
+    for r in plan.run() {
+        let a = r.value;
         health.push_row(vec![
             a.method.into(),
             f(a.ks_mean),

@@ -8,8 +8,10 @@
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
 use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
 use crate::runner::aggregate;
+use crate::scenario::Scenario;
 use dde_core::{
     DensityEstimator, DfDde, DfDdeConfig, ExactAggregation, GossipAggregation, GossipConfig,
     PoolWeighting, UniformPeerConfig, UniformPeerSampling,
@@ -25,21 +27,26 @@ pub fn ks_target(scale: Scale) -> f64 {
 
 /// Doubles the budget until the method's mean KS reaches `target`, returning
 /// `(budget, messages, ks)` of the first success, or `None` if the cap is
-/// hit first (a bias floor).
+/// hit first (a bias floor). Builds its own network: one search = one cell.
+/// With `cap_to_peers`, the cap also never exceeds the network size (for
+/// peer-sampling methods, whose budget is a peer count).
 fn search<F>(
-    mut make: F,
-    built: &mut crate::build::BuiltScenario,
+    make: F,
+    scenario: &Scenario,
     target: f64,
     repeats: usize,
     cap: usize,
+    cap_to_peers: bool,
 ) -> Option<(usize, f64, f64)>
 where
-    F: FnMut(usize) -> Box<dyn DensityEstimator>,
+    F: Fn(usize) -> Box<dyn DensityEstimator>,
 {
+    let mut built = build(scenario);
+    let cap = if cap_to_peers { cap.min(built.net.len()) } else { cap };
     let mut budget = 8;
     while budget <= cap {
         let est = make(budget);
-        let a = aggregate(built, est.as_ref(), repeats);
+        let a = aggregate(&mut built, est.as_ref(), repeats);
         if a.ks_mean <= target && a.runs > 0 {
             return Some((budget, a.messages_mean, a.ks_mean));
         }
@@ -51,80 +58,98 @@ where
 /// Builds table T2.
 pub fn t2_messages_to_target_accuracy(scale: Scale) -> Vec<Table> {
     let scenario = default_scenario(scale);
-    let mut built = build(&scenario);
     let target = ks_target(scale);
     let cap = match scale {
         Scale::Quick => 256,
         Scale::Full => 2048,
     };
+
+    let fmt = move |name: &str, r: Option<(usize, f64, f64)>, cap: usize| -> Vec<String> {
+        match r {
+            Some((b, m, k)) => vec![name.into(), b.to_string(), f(m), f(k)],
+            None => {
+                vec![name.into(), format!(">{cap}"), "-".into(), "never (bias floor)".into()]
+            }
+        }
+    };
+
+    // One cell per method: each budget-doubling search is sequential inside,
+    // but the five methods run concurrently. Each cell renders its own row.
+    let mut plan: ExecPlan<Vec<String>> = ExecPlan::new();
+    let s = &scenario;
+    let repeats = scale.repeats();
+    plan.push(move || {
+        let r = search(
+            |k| Box::new(DfDde::new(DfDdeConfig::with_probes(k))),
+            s,
+            target,
+            repeats,
+            cap,
+            false,
+        );
+        fmt("df-dde", r, cap)
+    });
+    plan.push(move || {
+        let r = search(
+            |k| {
+                Box::new(UniformPeerSampling::new(UniformPeerConfig {
+                    peers: k,
+                    weighting: PoolWeighting::CountWeighted,
+                    ..UniformPeerConfig::default()
+                }))
+            },
+            s,
+            target,
+            repeats,
+            cap,
+            false,
+        );
+        fmt("uniform-peer-cw", r, cap)
+    });
+    plan.push(move || {
+        // The biased baseline may be capped by the network size itself —
+        // report the cap it actually ran under.
+        let r = search(
+            |k| {
+                Box::new(UniformPeerSampling::new(UniformPeerConfig {
+                    peers: k,
+                    ..UniformPeerConfig::default()
+                }))
+            },
+            s,
+            target,
+            repeats,
+            cap,
+            true,
+        );
+        fmt("uniform-peer", r, cap.min(s.peers))
+    });
+    plan.push(move || {
+        let r = search(
+            |rounds| {
+                Box::new(GossipAggregation::new(GossipConfig { rounds, ..GossipConfig::default() }))
+            },
+            s,
+            target,
+            1,
+            64,
+            false,
+        );
+        fmt("gossip", r, cap)
+    });
+    plan.push(move || {
+        let mut built = build(s);
+        let a = aggregate(&mut built, &ExactAggregation::new(), 1);
+        vec!["exact-walk".into(), "full".into(), f(a.messages_mean), f(a.ks_mean)]
+    });
+
     let mut t = Table::new(
         format!("T2: cost to reach KS <= {target} (budget doubling, cap {cap})"),
         &["method", "budget", "msgs", "ks reached"],
     );
-
-    let fmt = |t: &mut Table, name: &str, r: Option<(usize, f64, f64)>| match r {
-        Some((b, m, k)) => t.push_row(vec![name.into(), b.to_string(), f(m), f(k)]),
-        None => t.push_row(vec![
-            name.into(),
-            format!(">{cap}"),
-            "-".into(),
-            "never (bias floor)".into(),
-        ]),
-    };
-
-    let r = search(
-        |k| Box::new(DfDde::new(DfDdeConfig::with_probes(k))),
-        &mut built,
-        target,
-        scale.repeats(),
-        cap,
-    );
-    fmt(&mut t, "df-dde", r);
-
-    let r = search(
-        |k| {
-            Box::new(UniformPeerSampling::new(UniformPeerConfig {
-                peers: k,
-                weighting: PoolWeighting::CountWeighted,
-                ..UniformPeerConfig::default()
-            }))
-        },
-        &mut built,
-        target,
-        scale.repeats(),
-        cap,
-    );
-    fmt(&mut t, "uniform-peer-cw", r);
-
-    // The biased baseline may be capped by the network size itself.
-    let naive_cap = cap.min(built.net.len());
-    let r = search(
-        |k| {
-            Box::new(UniformPeerSampling::new(UniformPeerConfig {
-                peers: k,
-                ..UniformPeerConfig::default()
-            }))
-        },
-        &mut built,
-        target,
-        scale.repeats(),
-        naive_cap,
-    );
-    fmt(&mut t, "uniform-peer", r);
-
-    let r = search(
-        |rounds| {
-            Box::new(GossipAggregation::new(GossipConfig { rounds, ..GossipConfig::default() }))
-        },
-        &mut built,
-        target,
-        1,
-        64,
-    );
-    fmt(&mut t, "gossip", r);
-
-    let a = aggregate(&mut built, &ExactAggregation::new(), 1);
-    t.push_row(vec!["exact-walk".into(), "full".into(), f(a.messages_mean), f(a.ks_mean)]);
+    for row in plan.run() {
+        t.push_row(row.value);
+    }
 
     let _ = default_probes(scale); // anchor: T2 shares T1's scenario
     vec![t]

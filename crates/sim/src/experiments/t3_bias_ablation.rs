@@ -10,40 +10,47 @@
 
 use super::t1_defaults::{default_probes, default_scenario};
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use crate::scenario::NodeLayout;
 use dde_core::skeleton::Weighting;
-use dde_core::{DfDde, DfDdeConfig, UniformPeerConfig, UniformPeerSampling};
+use dde_core::{DensityEstimator, DfDde, DfDdeConfig, UniformPeerConfig, UniformPeerSampling};
 
 /// Builds table T3.
 pub fn t3_bias_ablation(scale: Scale) -> Vec<Table> {
     let k = default_probes(scale);
+    let layouts = [NodeLayout::UniformIds, NodeLayout::LoadBalanced];
+    let mut plan = ExecPlan::new();
+    for layout in layouts {
+        let scenario = default_scenario(scale).with_layout(layout);
+        // Three cells per layout: HT on, HT off, naive baseline.
+        let estimators: Vec<Box<dyn DensityEstimator>> = vec![
+            Box::new(DfDde::new(DfDdeConfig::with_probes(k))),
+            Box::new(DfDde::new(DfDdeConfig {
+                weighting: Weighting::Unweighted,
+                ..DfDdeConfig::with_probes(k)
+            })),
+            Box::new(UniformPeerSampling::new(UniformPeerConfig {
+                peers: k,
+                ..UniformPeerConfig::default()
+            })),
+        ];
+        for estimator in estimators {
+            let scenario = scenario.clone();
+            plan.push(move || {
+                aggregate_cell(&scenario, |_| (), estimator.as_ref(), scale.repeats())
+            });
+        }
+    }
+    let results = plan.run();
     let mut t = Table::new(
         format!("T3: bias ablation, KS(gen) by layout x estimator (k = {k})"),
         &["layout", "df-dde (HT)", "df-dde (no HT)", "uniform-peer (equal)"],
     );
-    for layout in [NodeLayout::UniformIds, NodeLayout::LoadBalanced] {
-        let scenario = default_scenario(scale).with_layout(layout);
-        let mut built = build(&scenario);
-        let ht = aggregate(&mut built, &DfDde::new(DfDdeConfig::with_probes(k)), scale.repeats());
-        let raw = aggregate(
-            &mut built,
-            &DfDde::new(DfDdeConfig {
-                weighting: Weighting::Unweighted,
-                ..DfDdeConfig::with_probes(k)
-            }),
-            scale.repeats(),
-        );
-        let naive = aggregate(
-            &mut built,
-            &UniformPeerSampling::new(UniformPeerConfig {
-                peers: k,
-                ..UniformPeerConfig::default()
-            }),
-            scale.repeats(),
-        );
+    for (i, layout) in layouts.iter().enumerate() {
+        let cell = |j: usize| &results[i * 3 + j].value;
+        let (ht, raw, naive) = (cell(0), cell(1), cell(2));
         t.push_row(vec![format!("{layout:?}"), f(ht.ks_mean), f(raw.ks_mean), f(naive.ks_mean)]);
     }
     vec![t]

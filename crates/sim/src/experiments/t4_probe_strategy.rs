@@ -11,40 +11,41 @@
 
 use super::t1_defaults::default_scenario;
 use super::Scale;
-use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
-use crate::runner::aggregate;
+use crate::runner::aggregate_cell;
 use dde_core::{DfDde, DfDdeConfig, ProbeStrategy};
 
 /// Builds table T4.
 pub fn t4_probe_strategy(scale: Scale) -> Vec<Table> {
     let scenario = default_scenario(scale);
-    let mut built = build(&scenario);
     let budgets: &[usize] = match scale {
         Scale::Quick => &[32, 128],
         Scale::Full => &[16, 32, 64, 128, 256, 512],
     };
+    // Two cells per budget: stratified vs i.i.d. probe positions.
+    let mut plan = ExecPlan::new();
+    for &k in budgets {
+        for strategy in [ProbeStrategy::Stratified, ProbeStrategy::IidUniform] {
+            let scenario = &scenario;
+            plan.push(move || {
+                aggregate_cell(
+                    scenario,
+                    |_| (),
+                    &DfDde::new(DfDdeConfig { strategy, ..DfDdeConfig::with_probes(k) }),
+                    scale.repeats(),
+                )
+            });
+        }
+    }
+    let results = plan.run();
     let mut t = Table::new(
         "T4: probe strategy ablation, KS(gen) at equal message cost",
         &["k", "stratified", "±std", "iid uniform", "±std", "iid/stratified"],
     );
-    for &k in budgets {
-        let strat = aggregate(
-            &mut built,
-            &DfDde::new(DfDdeConfig {
-                strategy: ProbeStrategy::Stratified,
-                ..DfDdeConfig::with_probes(k)
-            }),
-            scale.repeats(),
-        );
-        let iid = aggregate(
-            &mut built,
-            &DfDde::new(DfDdeConfig {
-                strategy: ProbeStrategy::IidUniform,
-                ..DfDdeConfig::with_probes(k)
-            }),
-            scale.repeats(),
-        );
+    for (i, &k) in budgets.iter().enumerate() {
+        let strat = &results[i * 2].value;
+        let iid = &results[i * 2 + 1].value;
         t.push_row(vec![
             k.to_string(),
             f(strat.ks_mean),

@@ -10,6 +10,7 @@
 use super::t1_defaults::default_scenario;
 use super::Scale;
 use crate::build::build;
+use crate::exec::ExecPlan;
 use crate::report::{f, Table};
 use dde_core::AggregateEstimator;
 use dde_stats::metrics::relative_error;
@@ -26,37 +27,55 @@ pub fn probe_sweep(scale: Scale) -> Vec<usize> {
 /// Builds table T5.
 pub fn t5_aggregates(scale: Scale) -> Vec<Table> {
     let scenario = default_scenario(scale);
-    let mut built = build(&scenario);
-
-    // Exact references (computed once).
-    let vals = built.net.global_values();
-    let n = vals.len() as f64;
-    let sum: f64 = vals.iter().sum();
-    let mean = sum / n;
-    let var = vals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
     let (dlo, dhi) = scenario.domain;
     let (qlo, qhi) = (dlo + 0.1 * (dhi - dlo), dlo + 0.3 * (dhi - dlo));
-    let range_exact = vals.iter().filter(|&&x| (qlo..=qhi).contains(&x)).count() as f64;
+    let sweep = probe_sweep(scale);
+    let repeats = scale.repeats();
+
+    // One cell per (k, run). Each cell builds its own network and derives
+    // the exact references from it — the build is seed-deterministic, so
+    // every cell sees the same references the shared build used to provide.
+    let mut plan = ExecPlan::new();
+    for &k in &sweep {
+        for run in 0..repeats {
+            let scenario = &scenario;
+            plan.push(move || {
+                let mut built = build(scenario);
+                let vals = built.net.global_values();
+                let n = vals.len() as f64;
+                let sum: f64 = vals.iter().sum();
+                let mean = sum / n;
+                let var = vals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+                let range_exact = vals.iter().filter(|&&x| (qlo..=qhi).contains(&x)).count() as f64;
+
+                let seq = SeedSequence::new(scenario.seed ^ 0x75);
+                let mut rng = seq.stream(Component::Estimator, (run * 1000 + k) as u64);
+                let initiator = built.net.random_peer(&mut rng).expect("nonempty");
+                let rep = AggregateEstimator::with_probes(k)
+                    .query(&mut built.net, initiator, &mut rng)
+                    .expect("queries");
+                [
+                    relative_error(rep.count, n),
+                    relative_error(rep.sum, sum),
+                    relative_error(rep.mean, mean),
+                    relative_error(rep.variance, var),
+                    relative_error(rep.range_count(qlo, qhi), range_exact),
+                ]
+            });
+        }
+    }
+    let results = plan.run();
 
     let mut t = Table::new(
         format!("T5: aggregate-query relative error vs k (range count over [{qlo:.0}, {qhi:.0}])"),
         &["k", "COUNT", "SUM", "AVG", "VAR", "range COUNT"],
     );
-    for k in probe_sweep(scale) {
-        let repeats = scale.repeats();
+    for (i, k) in sweep.iter().enumerate() {
         let mut errs = [0.0f64; 5];
-        for run in 0..repeats {
-            let seq = SeedSequence::new(scenario.seed ^ 0x75);
-            let mut rng = seq.stream(Component::Estimator, (run * 1000 + k) as u64);
-            let initiator = built.net.random_peer(&mut rng).expect("nonempty");
-            let rep = AggregateEstimator::with_probes(k)
-                .query(&mut built.net, initiator, &mut rng)
-                .expect("queries");
-            errs[0] += relative_error(rep.count, n) / repeats as f64;
-            errs[1] += relative_error(rep.sum, sum) / repeats as f64;
-            errs[2] += relative_error(rep.mean, mean) / repeats as f64;
-            errs[3] += relative_error(rep.variance, var) / repeats as f64;
-            errs[4] += relative_error(rep.range_count(qlo, qhi), range_exact) / repeats as f64;
+        for r in &results[i * repeats..(i + 1) * repeats] {
+            for (e, v) in errs.iter_mut().zip(r.value) {
+                *e += v / repeats as f64;
+            }
         }
         t.push_row(vec![k.to_string(), f(errs[0]), f(errs[1]), f(errs[2]), f(errs[3]), f(errs[4])]);
     }

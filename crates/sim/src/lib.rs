@@ -21,12 +21,14 @@
 #![warn(clippy::all)]
 
 pub mod build;
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use build::{build, BuiltScenario};
+pub use exec::{CellResult, ExecPlan};
 pub use report::Table;
-pub use runner::{aggregate, run_estimator, AggregatedResult, RunResult};
+pub use runner::{aggregate, aggregate_cell, run_estimator, AggregatedResult, RunResult};
 pub use scenario::{NodeLayout, PlacementMode, Scenario};

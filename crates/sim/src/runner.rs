@@ -98,8 +98,31 @@ pub struct AggregatedResult {
     pub failures: usize,
 }
 
+/// One experiment cell: a **fresh** scenario build, an optional setup pass
+/// (install a fault plan, run churn, …), then `repeats` estimation runs.
+///
+/// This is the unit the parallel runner ([`crate::exec::ExecPlan`])
+/// schedules. Everything inside derives from `(scenario.seed, Component,
+/// run_index)` and the cell owns its `BuiltScenario` outright, so a cell
+/// computes the same result on any worker in any order — the root of the
+/// suite's `jobs = N` ≡ `jobs = 1` byte-identity guarantee.
+pub fn aggregate_cell(
+    scenario: &crate::scenario::Scenario,
+    setup: impl FnOnce(&mut BuiltScenario),
+    estimator: &dyn DensityEstimator,
+    repeats: usize,
+) -> AggregatedResult {
+    let mut built = crate::build::build(scenario);
+    setup(&mut built);
+    aggregate(&mut built, estimator, repeats)
+}
+
 /// Runs the estimator `repeats` times (fresh RNG stream per run, same
 /// network) and aggregates.
+///
+/// The caller owns `built`; when order-independence across cells matters,
+/// use [`aggregate_cell`], which rebuilds from the scenario instead of
+/// sharing a mutated network.
 pub fn aggregate(
     built: &mut BuiltScenario,
     estimator: &dyn DensityEstimator,

@@ -1,0 +1,40 @@
+//! Byte-identical replay: the worker count must never change experiment
+//! output.
+//!
+//! This is the contract the parallel runner (`sim::exec`) is built around:
+//! cells derive all randomness from `(scenario.seed, Component, run_index)`
+//! and own their `BuiltScenario`, so scheduling order cannot leak into the
+//! tables. The four experiments here cover the main runner shapes — plain
+//! estimator grids (f1, f3), per-run self-building cells (f5), and cells
+//! with fault-plan setup closures (f11).
+
+use dde_sim::exec;
+use dde_sim::experiments::{run_by_id, Scale};
+use dde_sim::report::Table;
+
+fn render(tables: &[Table]) -> (String, String) {
+    let text: String = tables.iter().map(|t| t.to_text()).collect::<Vec<_>>().join("\n");
+    let csv: String = tables.iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n");
+    (text, csv)
+}
+
+/// One test (not one per experiment) because the jobs setting is process
+/// global and libtest runs `#[test]`s concurrently.
+#[test]
+fn quick_suite_is_byte_identical_across_jobs() {
+    for id in ["f1", "f3", "f5", "f11"] {
+        exec::set_jobs(1);
+        let serial = render(&run_by_id(id, Scale::Quick).expect("known id"));
+
+        exec::set_jobs(4);
+        let parallel = render(&run_by_id(id, Scale::Quick).expect("known id"));
+
+        exec::set_jobs(0); // restore the default for other tests in this binary
+
+        assert_eq!(
+            serial.0, parallel.0,
+            "{id}: rendered text differs between --jobs 1 and --jobs 4"
+        );
+        assert_eq!(serial.1, parallel.1, "{id}: CSV differs between --jobs 1 and --jobs 4");
+    }
+}

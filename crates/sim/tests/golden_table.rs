@@ -1,0 +1,83 @@
+//! Golden-output tests for `sim::report::Table` rendering.
+//!
+//! The experiment suite's byte-identity guarantee (see
+//! `tests/determinism.rs`) is only as strong as the renderer, so the exact
+//! bytes of `to_text()` (column alignment, header widths, rule length) and
+//! `to_csv()` (quoting) are pinned against checked-in fixtures. The sampler
+//! table exercises every branch of the `f()` float formatter: exact zero,
+//! sub-unit (4 dp), unit-scale (2 dp), thousands (0 dp), and negatives.
+//!
+//! To regenerate after an intentional renderer change:
+//! `GOLDEN_UPDATE=1 cargo test -p dde-sim --test golden_table`
+
+use dde_sim::report::{f, Table};
+use std::path::PathBuf;
+
+fn sampler() -> Table {
+    let mut t = Table::new("golden: formatting sampler", &["metric", "value", "note"]);
+    t.push_row(vec!["zero".into(), f(0.0), "exact zero".into()]);
+    t.push_row(vec!["sub-unit".into(), f(0.012345), "4 dp".into()]);
+    t.push_row(vec!["unit".into(), f(3.5), "2 dp".into()]);
+    t.push_row(vec!["thousands".into(), f(12345.678), "0 dp".into()]);
+    t.push_row(vec!["negative".into(), f(-0.5), "sign kept".into()]);
+    t.push_row(vec!["commas, quoted".into(), f(1.0), "needs \"quoting\"".into()]);
+    t
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = fixture(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with GOLDEN_UPDATE=1", name));
+    assert_eq!(
+        rendered, expected,
+        "{name} drifted from its fixture; if intentional, regenerate with GOLDEN_UPDATE=1"
+    );
+}
+
+#[test]
+fn text_rendering_matches_fixture() {
+    check("formatting_sampler.txt", &sampler().to_text());
+}
+
+#[test]
+fn csv_rendering_matches_fixture() {
+    check("formatting_sampler.csv", &sampler().to_csv());
+}
+
+/// Belt-and-braces assertions that do not depend on the fixture files, so a
+/// bad `GOLDEN_UPDATE` run cannot silently bless broken output.
+#[test]
+fn rendering_invariants() {
+    let t = sampler();
+    let text = t.to_text();
+
+    // Every rendered line (title, header, rule, rows) is trimmed of trailing
+    // whitespace and data lines share one width (right-aligned columns).
+    for line in text.lines() {
+        assert_eq!(line, line.trim_end(), "trailing whitespace in {line:?}");
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2 + 1 + t.rows.len(), "title + header + rule + rows");
+    assert!(lines[0].starts_with("== ") && lines[0].ends_with(" =="));
+
+    // The float formatter's branches, pinned directly.
+    assert_eq!(f(0.0), "0");
+    assert_eq!(f(0.012345), "0.0123");
+    assert_eq!(f(3.5), "3.50");
+    assert_eq!(f(12345.678), "12346");
+    assert_eq!(f(-0.5), "-0.5000");
+
+    // CSV quoting: commas force quotes, embedded quotes double.
+    let csv = t.to_csv();
+    assert!(csv.contains("\"commas, quoted\""));
+    assert!(csv.contains("\"needs \"\"quoting\"\"\""));
+}
