@@ -9,18 +9,36 @@
 //!   --csv D  additionally write each table as CSV into directory D
 //!   --jobs N experiment-cell worker threads (default: all cores; output is
 //!            byte-identical for every N — see EXPERIMENTS.md "Runner")
+//!
+//! expts dst [--schedules N] [--events N] [--seed S] [--peers N] [--items N]
+//!           [--replication N] [--bug] [--out FILE] [--jobs N]
+//! expts dst --replay FILE
+//!
+//!   Deterministic simulation testing (see TESTING.md). The fuzz form runs N
+//!   seeded schedules against the invariant oracle; on failure it shrinks to
+//!   a minimal reproducer, writes it to FILE (default dst-repro.ron), and
+//!   exits 1. The replay form re-runs a repro file and exits 1 iff the
+//!   failure reproduces, printing the byte-identical failure report.
 //! ```
 //!
 //! Tables go to **stdout**; progress and timing lines go to **stderr**, so
 //! `expts ... > out.txt` produces the same bytes regardless of `--jobs` —
 //! the property CI's determinism job diffs.
 
+use dde_sim::dst::{self, DstConfig, InjectedBug};
 use dde_sim::exec;
 use dde_sim::experiments::{run_by_id, Scale, ALL_IDS};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("dst") {
+        raw.remove(0);
+        dst_main(raw);
+        return;
+    }
+
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
     let mut csv_dir: Option<PathBuf> = None;
@@ -109,4 +127,141 @@ fn main() {
         suite_start.elapsed().as_secs_f64(),
         total_cpu.as_secs_f64(),
     );
+}
+
+/// `expts dst ...`: fuzz schedules against the invariant oracle, or replay a
+/// repro file. Exits 1 when a violation is found (fuzz) or reproduced
+/// (replay), 2 on usage errors.
+fn dst_main(raw: Vec<String>) {
+    let mut cfg = DstConfig::default();
+    let mut schedules = 16usize;
+    let mut replay: Option<PathBuf> = None;
+    let mut out = PathBuf::from("dst-repro.ron");
+
+    let mut args = raw.into_iter();
+    while let Some(arg) = args.next() {
+        let num = |flag: &str, args: &mut dyn Iterator<Item = String>| -> u64 {
+            match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("{flag} needs a numeric argument");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match arg.as_str() {
+            "--schedules" => schedules = num("--schedules", &mut args) as usize,
+            "--events" => cfg.events = num("--events", &mut args) as usize,
+            "--seed" => cfg.seed = num("--seed", &mut args),
+            "--peers" => cfg.peers = num("--peers", &mut args) as usize,
+            "--items" => cfg.items = num("--items", &mut args) as usize,
+            "--replication" => cfg.replication = num("--replication", &mut args) as usize,
+            "--jobs" => exec::set_jobs(num("--jobs", &mut args) as usize),
+            "--bug" => cfg.bug = Some(InjectedBug::SkipSuccessorOnHeal),
+            "--replay" => {
+                let Some(file) = args.next() else {
+                    eprintln!("--replay needs a file argument");
+                    std::process::exit(2);
+                };
+                replay = Some(PathBuf::from(file));
+            }
+            "--out" => {
+                let Some(file) = args.next() else {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                };
+                out = PathBuf::from(file);
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: expts dst [--schedules N] [--events N] [--seed S] [--peers N] \
+                     [--items N] [--replication N] [--bug] [--out FILE] [--jobs N]"
+                );
+                eprintln!("       expts dst --replay FILE");
+                return;
+            }
+            other => {
+                eprintln!("unknown dst argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(file) = replay {
+        let text = match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        let schedule = match dst::parse_repro(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot parse {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        eprintln!(
+            "replaying {} ({} events, seed {})",
+            file.display(),
+            schedule.events.len(),
+            schedule.seed
+        );
+        match dst::run_schedule(&schedule) {
+            Ok(report) => {
+                println!(
+                    "repro did NOT reproduce: {} events ran clean ({} peers, {} items at end)",
+                    report.events, report.final_peers, report.final_items
+                );
+            }
+            Err(failure) => {
+                print!("{failure}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let start = Instant::now();
+    eprintln!(
+        "dst fuzz: {schedules} schedules x {} events (seed {}, peers {}, items {}, \
+         replication {}, bug {:?}, jobs {})",
+        cfg.events,
+        cfg.seed,
+        cfg.peers,
+        cfg.items,
+        cfg.replication,
+        cfg.bug,
+        exec::jobs(),
+    );
+    let outcome = dst::fuzz(&cfg, schedules);
+    eprintln!("dst fuzz: {} schedules in {:.2}s", outcome.schedules, start.elapsed().as_secs_f64());
+    match outcome.failure {
+        None => println!("dst: {} schedules, no invariant violations", outcome.schedules),
+        Some(found) => {
+            println!(
+                "dst: schedule {} (seed {}) violated an invariant",
+                found.schedule_index, found.schedule.seed
+            );
+            print!("{}", found.failure);
+            println!(
+                "shrunk to {} events (from {}):",
+                found.shrunk.events.len(),
+                found.schedule.events.len()
+            );
+            print!("{}", found.shrunk_failure);
+            let repro = dst::to_repro(&found.shrunk);
+            if let Err(e) = std::fs::write(&out, &repro) {
+                eprintln!("cannot write {}: {e}", out.display());
+            } else {
+                println!(
+                    "repro written to {} (replay: expts dst --replay {})",
+                    out.display(),
+                    out.display()
+                );
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -84,4 +84,24 @@ mod tests {
         assert_eq!(p.max_attempts, 1);
         assert_eq!(p.failed_attempt_cost(0), p.attempt_timeout);
     }
+
+    #[test]
+    fn with_attempts_clamps_to_at_least_one() {
+        assert_eq!(RetryPolicy::with_attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::with_attempts(6).max_attempts, 6);
+    }
+
+    #[test]
+    fn exhaustion_cost_is_timeouts_plus_all_but_last_backoff() {
+        // Full exhaustion of the default policy {4, 2, 8}:
+        // (8+2) + (8+4) + (8+8) + 8 = 46 — the closed form the fault
+        // integration tests (crates/core/tests/retry_accounting.rs) pin
+        // against the live delay counter.
+        let p = RetryPolicy::default();
+        let total: u64 = (0..p.max_attempts).map(|a| p.failed_attempt_cost(a)).sum();
+        let expected = p.max_attempts as u64 * p.attempt_timeout
+            + (1..p.max_attempts).map(|r| p.backoff(r)).sum::<u64>();
+        assert_eq!(total, expected);
+        assert_eq!(total, 46);
+    }
 }

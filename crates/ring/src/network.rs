@@ -644,6 +644,82 @@ impl Network {
         Ok((tuple, res.hops))
     }
 
+    /// Checks **local** structural invariants — properties of per-node state
+    /// that must hold at *every* instant, even mid-churn with arbitrarily
+    /// stale routing state (unlike [`Network::check_invariants`], which
+    /// compares against ground truth and is only meaningful after
+    /// stabilization quiesces). The DST oracle (`dde-sim`'s `dst` module)
+    /// evaluates this after every fuzzed event:
+    ///
+    /// * successor lists never contain the node itself (for `P > 1`), never
+    ///   contain duplicates, and never exceed [`SUCCESSOR_LIST_LEN`];
+    /// * the believed predecessor is never the node itself (for `P > 1`);
+    /// * stored values are finite;
+    /// * replica lease ages never exceed
+    ///   [`crate::replication::REPLICA_LEASE_ROUNDS`], no node replicates
+    ///   itself, no replicas exist with replication off, and no primary has
+    ///   more than `r · (lease + 2)` holders (at most `r` fresh pushes per
+    ///   round, each entry living at most `lease + 1` rounds).
+    pub fn check_local_invariants(&self) -> Vec<String> {
+        use crate::replication::REPLICA_LEASE_ROUNDS;
+        let mut violations = Vec::new();
+        let p = self.nodes.len();
+        let mut holders: BTreeMap<RingId, usize> = BTreeMap::new();
+        for (&id, node) in &self.nodes {
+            if node.successors.len() > SUCCESSOR_LIST_LEN {
+                violations.push(format!(
+                    "{id}: successor list over capacity ({} > {SUCCESSOR_LIST_LEN})",
+                    node.successors.len()
+                ));
+            }
+            if p > 1 && node.successors.contains(&id) {
+                violations.push(format!("{id}: successor list contains self"));
+            }
+            if p > 1 && node.predecessor == Some(id) {
+                violations.push(format!("{id}: predecessor is self"));
+            }
+            let mut uniq = node.successors.clone();
+            uniq.sort();
+            uniq.dedup();
+            if uniq.len() != node.successors.len() {
+                violations.push(format!("{id}: successor list has duplicates"));
+            }
+            for &x in node.store.values() {
+                if !x.is_finite() {
+                    violations.push(format!("{id}: non-finite stored value {x}"));
+                }
+            }
+            for (&primary, entry) in &node.replicas {
+                if primary == id {
+                    violations.push(format!("{id}: holds a replica of itself"));
+                }
+                if entry.1 > REPLICA_LEASE_ROUNDS {
+                    violations.push(format!(
+                        "{id}: replica lease for {primary} aged {} > {REPLICA_LEASE_ROUNDS}",
+                        entry.1
+                    ));
+                }
+                if self.replication == 0 {
+                    violations
+                        .push(format!("{id}: replica of {primary} present with replication off"));
+                }
+                *holders.entry(primary).or_insert(0) += 1;
+            }
+        }
+        if self.replication > 0 {
+            let bound = self.replication * (REPLICA_LEASE_ROUNDS as usize + 2);
+            for (primary, n) in holders {
+                if n > bound {
+                    violations.push(format!(
+                        "{primary}: {n} replica holders exceed bound {bound} (r = {})",
+                        self.replication
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
     /// Checks structural ring invariants against ground truth: every node's
     /// predecessor/successor match the ring order and every item sits on the
     /// peer owning its ring position. Returns a list of violations (empty =

@@ -1,0 +1,833 @@
+//! Deterministic simulation testing (DST): a FoundationDB-style adversarial
+//! test bed for the whole estimator stack.
+//!
+//! Four pieces, all seed-deterministic:
+//!
+//! * **Schedule fuzzer** — [`generate`] derives an arbitrary interleaving of
+//!   `Join / Leave / Crash / Heal / Insert / Probe / EstimateRefresh /
+//!   FaultWindow` events from a master seed. Every event carries *concrete*
+//!   parameters (entropy words, peer ranks resolved against the alive set at
+//!   application time), never a shared RNG — so removing events during
+//!   shrinking cannot perturb how the remaining ones apply.
+//! * **Invariant oracle** — after *every* event the always-true local
+//!   invariants ([`dde_ring::Network::check_local_invariants`]), message-stat
+//!   monotonicity, item conservation, and probe/estimate monotonicity are
+//!   checked; after every `Heal` (which stabilizes to quiescence) the
+//!   ground-truth ring+data invariants
+//!   ([`dde_ring::Network::check_invariants`]) must be empty.
+//! * **Shrinker** — [`shrink`] ddmin-reduces a failing schedule to a
+//!   1-minimal reproducer by re-running candidate sub-schedules.
+//! * **Replayable repro** — [`to_repro`] / [`parse_repro`] round-trip a
+//!   schedule through a human-readable RON-like text file, replayed with
+//!   `expts dst --replay <file>`; the failure report is byte-identical
+//!   across replays.
+//!
+//! [`fuzz`] runs many schedules through the parallel [`ExecPlan`] runner;
+//! results are scanned in push order, so the reported first failure (and its
+//! shrunk reproducer) is independent of `--jobs`.
+
+use crate::build::build;
+use crate::exec::ExecPlan;
+use crate::scenario::Scenario;
+use dde_core::{ContinuousConfig, ContinuousEstimator};
+use dde_ring::{FaultPlan, Network, RingId};
+use dde_stats::rng::{splitmix64, Component, SeedSequence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Stabilization rounds a `Heal` event may spend reaching quiescence before
+/// the oracle calls non-convergence itself a violation.
+pub const MAX_HEAL_ROUNDS: usize = 64;
+
+/// Churn events never shrink the network below this many peers.
+const MIN_PEERS: usize = 5;
+
+/// One fuzzed event. All parameters are concrete: peer choices are encoded
+/// as *ranks* reduced modulo the alive-peer count at application time, so an
+/// event stays applicable (and deterministic) no matter which other events a
+/// shrinking pass removed around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DstEvent {
+    /// A new peer joins through a bootstrap peer.
+    Join {
+        /// Raw entropy for the joiner's ring id.
+        id_entropy: u64,
+        /// Rank (mod alive count) of the bootstrap peer.
+        bootstrap_rank: u64,
+    },
+    /// A peer leaves gracefully, handing its data to its heir.
+    Leave {
+        /// Rank (mod alive count) of the departing peer.
+        victim_rank: u64,
+    },
+    /// A peer crash-fails: data lost, nobody told.
+    Crash {
+        /// Rank (mod alive count) of the crashing peer.
+        victim_rank: u64,
+    },
+    /// The network settles: faults clear and stabilization runs until a
+    /// round makes zero corrections (bounded by [`MAX_HEAL_ROUNDS`]).
+    Heal,
+    /// A peer inserts one value through the overlay.
+    Insert {
+        /// Rank (mod alive count) of the inserting peer.
+        initiator_rank: u64,
+        /// Raw entropy mapped to a value inside the data domain.
+        value_entropy: u64,
+    },
+    /// A peer probes the owner of a ring point (the estimator's primitive).
+    Probe {
+        /// Rank (mod alive count) of the probing peer.
+        initiator_rank: u64,
+        /// The probed ring point.
+        point: u64,
+    },
+    /// The resident continuous estimator refreshes part of its probe window.
+    EstimateRefresh {
+        /// Rank (mod alive count) of the estimating peer.
+        initiator_rank: u64,
+        /// Seed for the refresh's probe positions.
+        entropy: u64,
+    },
+    /// A fault plan (loss/reply-loss/sick windows) switches on for the next
+    /// `duration` events (or until a `Heal`).
+    FaultWindow {
+        /// Seed for the plan's per-link streams.
+        entropy: u64,
+        /// Request loss probability in per-mille.
+        loss_pm: u16,
+        /// Reply loss probability in per-mille.
+        reply_loss_pm: u16,
+        /// Sick-peer probability in per-mille.
+        sick_pm: u16,
+        /// Events the window stays installed for.
+        duration: u16,
+    },
+}
+
+impl std::fmt::Display for DstEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DstEvent::Join { id_entropy, bootstrap_rank } => {
+                write!(f, "Join(id_entropy: {id_entropy}, bootstrap_rank: {bootstrap_rank})")
+            }
+            DstEvent::Leave { victim_rank } => write!(f, "Leave(victim_rank: {victim_rank})"),
+            DstEvent::Crash { victim_rank } => write!(f, "Crash(victim_rank: {victim_rank})"),
+            DstEvent::Heal => write!(f, "Heal"),
+            DstEvent::Insert { initiator_rank, value_entropy } => {
+                write!(
+                    f,
+                    "Insert(initiator_rank: {initiator_rank}, value_entropy: {value_entropy})"
+                )
+            }
+            DstEvent::Probe { initiator_rank, point } => {
+                write!(f, "Probe(initiator_rank: {initiator_rank}, point: {point})")
+            }
+            DstEvent::EstimateRefresh { initiator_rank, entropy } => {
+                write!(f, "EstimateRefresh(initiator_rank: {initiator_rank}, entropy: {entropy})")
+            }
+            DstEvent::FaultWindow { entropy, loss_pm, reply_loss_pm, sick_pm, duration } => write!(
+                f,
+                "FaultWindow(entropy: {entropy}, loss_pm: {loss_pm}, reply_loss_pm: \
+                 {reply_loss_pm}, sick_pm: {sick_pm}, duration: {duration})"
+            ),
+        }
+    }
+}
+
+/// A deliberately injected protocol bug, for validating that the oracle and
+/// shrinker actually work (and for demos).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// During a `Heal` that follows at least one `Crash`, one survivor's
+    /// immediate successor pointer is dropped after stabilization — the
+    /// classic crash-heal race where a repair step skips a list entry. The
+    /// post-heal ground-truth oracle must catch it; the minimal reproducer
+    /// is `[Crash, Heal]`.
+    SkipSuccessorOnHeal,
+}
+
+/// Configuration for schedule generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DstConfig {
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Initial network size.
+    pub peers: usize,
+    /// Initial bulk-loaded items.
+    pub items: usize,
+    /// Events per schedule.
+    pub events: usize,
+    /// Replication factor installed at build time.
+    pub replication: usize,
+    /// Injected bug, if any.
+    pub bug: Option<InjectedBug>,
+}
+
+impl Default for DstConfig {
+    fn default() -> Self {
+        Self { seed: 0xD57, peers: 24, items: 1500, events: 48, replication: 1, bug: None }
+    }
+}
+
+/// A fully concrete, self-contained event schedule: replaying it (via
+/// [`run_schedule`]) is deterministic and needs nothing but this value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed the initial network/data build derives from.
+    pub seed: u64,
+    /// Initial network size.
+    pub peers: usize,
+    /// Initial bulk-loaded items.
+    pub items: usize,
+    /// Replication factor installed at build time.
+    pub replication: usize,
+    /// Injected bug, if any.
+    pub bug: Option<InjectedBug>,
+    /// The event sequence.
+    pub events: Vec<DstEvent>,
+}
+
+/// Generates the schedule for `cfg`: `cfg.events` events drawn from a
+/// dedicated RNG stream of the master seed.
+pub fn generate(cfg: &DstConfig) -> Schedule {
+    let seq = SeedSequence::new(cfg.seed);
+    let mut rng = seq.stream(Component::Test, 0);
+    let events = (0..cfg.events).map(|_| random_event(&mut rng)).collect();
+    Schedule {
+        seed: cfg.seed,
+        peers: cfg.peers,
+        items: cfg.items,
+        replication: cfg.replication,
+        bug: cfg.bug,
+        events,
+    }
+}
+
+fn random_event(rng: &mut StdRng) -> DstEvent {
+    match rng.gen_range(0..100u32) {
+        0..=9 => DstEvent::Join { id_entropy: rng.gen(), bootstrap_rank: rng.gen() },
+        10..=17 => DstEvent::Leave { victim_rank: rng.gen() },
+        18..=25 => DstEvent::Crash { victim_rank: rng.gen() },
+        26..=37 => DstEvent::Heal,
+        38..=57 => DstEvent::Insert { initiator_rank: rng.gen(), value_entropy: rng.gen() },
+        58..=77 => DstEvent::Probe { initiator_rank: rng.gen(), point: rng.gen() },
+        78..=89 => DstEvent::EstimateRefresh { initiator_rank: rng.gen(), entropy: rng.gen() },
+        _ => DstEvent::FaultWindow {
+            entropy: rng.gen(),
+            loss_pm: rng.gen_range(0..=300),
+            reply_loss_pm: rng.gen_range(0..=150),
+            sick_pm: rng.gen_range(0..=100),
+            duration: rng.gen_range(1..=8),
+        },
+    }
+}
+
+/// An invariant violation: where in the schedule it surfaced and what broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DstFailure {
+    /// Index of the offending event in the schedule.
+    pub event_index: usize,
+    /// Rendered event (see [`DstEvent`]'s `Display`).
+    pub event: String,
+    /// The oracle's violation list.
+    pub violations: Vec<String>,
+}
+
+impl std::fmt::Display for DstFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "invariant violation after event {}: {}", self.event_index, self.event)?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a clean schedule run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DstReport {
+    /// Events applied.
+    pub events: usize,
+    /// Alive peers at the end.
+    pub final_peers: usize,
+    /// Items held at the end.
+    pub final_items: u64,
+    /// Successful continuous-estimator refreshes.
+    pub estimates: usize,
+}
+
+/// Runs `schedule` from a fresh network, evaluating the oracle after every
+/// event. Fully deterministic in the schedule value.
+pub fn run_schedule(schedule: &Schedule) -> Result<DstReport, DstFailure> {
+    let mut world = World::setup(schedule);
+    for (index, &event) in schedule.events.iter().enumerate() {
+        world.apply(index, event)?;
+    }
+    Ok(DstReport {
+        events: schedule.events.len(),
+        final_peers: world.net.len(),
+        final_items: world.net.total_items(),
+        estimates: world.estimates,
+    })
+}
+
+/// The live state a schedule runs against.
+struct World {
+    net: Network,
+    domain: (f64, f64),
+    est: ContinuousEstimator,
+    bug: Option<InjectedBug>,
+    replication: usize,
+    initial_items: u64,
+    inserts_attempted: u64,
+    crashes: usize,
+    fault_countdown: usize,
+    prev_messages: u64,
+    prev_bytes: u64,
+    prev_delay: u64,
+    estimates: usize,
+}
+
+impl World {
+    fn setup(schedule: &Schedule) -> Self {
+        let scenario = Scenario::default()
+            .with_peers(schedule.peers)
+            .with_items(schedule.items)
+            .with_seed(schedule.seed);
+        let built = build(&scenario);
+        let mut net = built.net;
+        net.set_replication(schedule.replication);
+        let initial_items = net.total_items();
+        Self {
+            net,
+            domain: scenario.domain,
+            est: ContinuousEstimator::new(ContinuousConfig {
+                window: 32,
+                refresh_per_tick: 4,
+                ..ContinuousConfig::default()
+            }),
+            bug: schedule.bug,
+            replication: schedule.replication,
+            initial_items,
+            inserts_attempted: 0,
+            crashes: 0,
+            fault_countdown: 0,
+            prev_messages: 0,
+            prev_bytes: 0,
+            prev_delay: 0,
+            estimates: 0,
+        }
+    }
+
+    /// The alive peer at `rank % alive_count`, in ring order.
+    fn peer_at(&self, rank: u64) -> RingId {
+        let len = self.net.len() as u64;
+        self.net.ids().nth((rank % len) as usize).expect("rank reduced mod len")
+    }
+
+    fn apply(&mut self, index: usize, event: DstEvent) -> Result<(), DstFailure> {
+        let mut extra: Vec<String> = Vec::new();
+        match event {
+            DstEvent::Join { id_entropy, bootstrap_rank } => {
+                let id = RingId(id_entropy);
+                if !self.net.is_alive(id) {
+                    let bootstrap = self.peer_at(bootstrap_rank);
+                    // Joins may legitimately fail under faults (lookup lost).
+                    let _ = self.net.join(id, bootstrap);
+                }
+            }
+            DstEvent::Leave { victim_rank } => {
+                if self.net.len() > MIN_PEERS {
+                    let victim = self.peer_at(victim_rank);
+                    let _ = self.net.leave(victim);
+                }
+            }
+            DstEvent::Crash { victim_rank } => {
+                if self.net.len() > MIN_PEERS {
+                    let victim = self.peer_at(victim_rank);
+                    let _ = self.net.fail(victim);
+                    self.crashes += 1;
+                }
+            }
+            DstEvent::Heal => {
+                self.fault_countdown = 0;
+                self.net.clear_fault_plan();
+                let mut quiesced = false;
+                for _ in 0..MAX_HEAL_ROUNDS {
+                    if self.net.stabilize_round() == 0 {
+                        quiesced = true;
+                        break;
+                    }
+                }
+                if self.bug == Some(InjectedBug::SkipSuccessorOnHeal) && self.crashes > 0 {
+                    // The injected crash-heal race: the repair pass "skips"
+                    // the first survivor's immediate successor entry.
+                    let victim = self.net.ids().next().expect("nonempty");
+                    let node = self.net.node_mut(victim).expect("alive");
+                    if !node.successors.is_empty() {
+                        node.successors.remove(0);
+                    }
+                }
+                if !quiesced {
+                    extra.push(format!(
+                        "stabilization failed to quiesce within {MAX_HEAL_ROUNDS} rounds"
+                    ));
+                }
+                for v in self.net.check_invariants() {
+                    extra.push(format!("post-heal: {v}"));
+                }
+            }
+            DstEvent::Insert { initiator_rank, value_entropy } => {
+                let initiator = self.peer_at(initiator_rank);
+                let (lo, hi) = self.domain;
+                let frac = value_entropy as f64 / u64::MAX as f64;
+                let value = lo + frac * (hi - lo);
+                // A reply-lost insert stores the item but reports failure, so
+                // conservation is bounded by *attempts*, not successes.
+                self.inserts_attempted += 1;
+                let _ = self.net.insert(initiator, value);
+            }
+            DstEvent::Probe { initiator_rank, point } => {
+                let initiator = self.peer_at(initiator_rank);
+                if let Ok(reply) = self.net.probe(initiator, RingId(point)) {
+                    let b = reply.summary.boundaries();
+                    if b.windows(2).any(|w| w[0] > w[1]) {
+                        extra.push(format!("probe reply summary boundaries not sorted: {b:?}"));
+                    }
+                    if reply.summary.total() != reply.count {
+                        extra.push(format!(
+                            "probe reply summary total {} != count {}",
+                            reply.summary.total(),
+                            reply.count
+                        ));
+                    }
+                    let (lo, hi) = self.domain;
+                    let mut prev = -1.0;
+                    for i in 0..=16 {
+                        let x = lo + (hi - lo) * i as f64 / 16.0;
+                        let c = reply.summary.count_le(x);
+                        if c < prev - 1e-9 {
+                            extra.push(format!("probe reply count_le not monotone at x = {x}"));
+                            break;
+                        }
+                        prev = c;
+                    }
+                }
+            }
+            DstEvent::EstimateRefresh { initiator_rank, entropy } => {
+                let initiator = self.peer_at(initiator_rank);
+                // Per-event RNG: refreshing stays deterministic even when the
+                // shrinker removes earlier refreshes.
+                let mut rng = StdRng::seed_from_u64(splitmix64(entropy));
+                if self.est.tick(&mut self.net, initiator, &mut rng).is_ok() {
+                    self.estimates += 1;
+                }
+                if self.est.probes_held() > 32 {
+                    extra.push(format!(
+                        "estimator window overflow: {} probes held",
+                        self.est.probes_held()
+                    ));
+                }
+                if let Ok(estimate) = self.est.current_estimate(self.domain) {
+                    let (lo, hi) = self.domain;
+                    let mut prev = f64::NEG_INFINITY;
+                    for i in 0..=16 {
+                        let x = lo + (hi - lo) * i as f64 / 16.0;
+                        let c = estimate.cdf(x);
+                        if !(-1e-9..=1.0 + 1e-9).contains(&c) {
+                            extra.push(format!("estimate cdf({x}) = {c} outside [0, 1]"));
+                            break;
+                        }
+                        if c < prev - 1e-9 {
+                            extra.push(format!("estimate cdf not monotone at x = {x}"));
+                            break;
+                        }
+                        prev = c;
+                    }
+                }
+            }
+            DstEvent::FaultWindow { entropy, loss_pm, reply_loss_pm, sick_pm, duration } => {
+                let plan = FaultPlan::new(splitmix64(entropy))
+                    .with_loss(f64::from(loss_pm) / 1000.0)
+                    .with_reply_loss(f64::from(reply_loss_pm) / 1000.0)
+                    .with_sick(f64::from(sick_pm) / 1000.0, 8);
+                self.net.set_fault_plan(plan);
+                self.fault_countdown = usize::from(duration);
+            }
+        }
+
+        // Expire an installed fault window (the window itself doesn't tick).
+        if self.fault_countdown > 0 && !matches!(event, DstEvent::FaultWindow { .. }) {
+            self.fault_countdown -= 1;
+            if self.fault_countdown == 0 {
+                self.net.clear_fault_plan();
+            }
+        }
+
+        self.oracle(index, event, extra)
+    }
+
+    /// The always-on oracle, evaluated after every event. `extra` carries
+    /// event-specific violations found during application.
+    fn oracle(
+        &mut self,
+        index: usize,
+        event: DstEvent,
+        mut violations: Vec<String>,
+    ) -> Result<(), DstFailure> {
+        violations.extend(self.net.check_local_invariants());
+
+        if self.net.len() < 2 {
+            violations.push(format!("network shrank to {} peers", self.net.len()));
+        }
+
+        // Message-stat conservation: counters only ever grow.
+        let stats = self.net.stats();
+        let (messages, bytes, delay) =
+            (stats.total_messages(), stats.total_bytes(), stats.total_delay());
+        if messages < self.prev_messages {
+            violations.push(format!(
+                "message counter went backwards: {messages} < {}",
+                self.prev_messages
+            ));
+        }
+        if bytes < self.prev_bytes {
+            violations.push(format!("byte counter went backwards: {bytes} < {}", self.prev_bytes));
+        }
+        if delay < self.prev_delay {
+            violations.push(format!("delay counter went backwards: {delay} < {}", self.prev_delay));
+        }
+        self.prev_messages = messages;
+        self.prev_bytes = bytes;
+        self.prev_delay = delay;
+
+        // Item conservation (replication off only: with replication on, a
+        // promotion against adversarially stale arcs may legitimately race a
+        // hand-off, so the primary-store total is not a tight invariant).
+        if self.replication == 0 {
+            let total = self.net.total_items();
+            let bound = self.initial_items + self.inserts_attempted;
+            if total > bound {
+                violations.push(format!(
+                    "item conservation broken: {total} items > {} initial + {} inserted",
+                    self.initial_items, self.inserts_attempted
+                ));
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(DstFailure { event_index: index, event: event.to_string(), violations })
+        }
+    }
+}
+
+/// A shrunk failing schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shrunk {
+    /// The 1-minimal schedule.
+    pub schedule: Schedule,
+    /// Its failure (the reproducer's expected output).
+    pub failure: DstFailure,
+    /// Schedule executions the shrink spent.
+    pub runs: usize,
+}
+
+/// ddmin-shrinks `schedule` to a 1-minimal failing reproducer: repeatedly
+/// removes event chunks (halving granularity) while the remainder still
+/// fails. Returns `None` if the schedule does not fail at all. Deterministic:
+/// the candidate order is fixed, and candidate runs share nothing.
+pub fn shrink(schedule: &Schedule) -> Option<Shrunk> {
+    let mut failure = run_schedule(schedule).err()?;
+    let mut best = schedule.clone();
+    let mut runs = 1;
+
+    let mut chunks = 2;
+    while best.events.len() >= 2 {
+        let len = best.events.len();
+        chunks = chunks.min(len);
+        let granularity = chunks;
+        let mut reduced = false;
+        for chunk in 0..granularity {
+            let start = chunk * len / granularity;
+            let end = (chunk + 1) * len / granularity;
+            if start == end {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.events.drain(start..end);
+            runs += 1;
+            if let Err(f) = run_schedule(&candidate) {
+                best = candidate;
+                failure = f;
+                chunks = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if chunks >= len {
+                break; // 1-minimal: no single event can be removed
+            }
+            chunks = (chunks * 2).min(len);
+        }
+    }
+    Some(Shrunk { schedule: best, failure, runs })
+}
+
+/// The seed of fuzz schedule `index` under master seed `master`.
+pub fn schedule_seed(master: u64, index: usize) -> u64 {
+    splitmix64(master.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// A failure found by [`fuzz`], already shrunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzFailure {
+    /// Index of the first failing schedule (in seed order).
+    pub schedule_index: usize,
+    /// The original failing schedule.
+    pub schedule: Schedule,
+    /// The original failure.
+    pub failure: DstFailure,
+    /// The shrunk reproducer.
+    pub shrunk: Schedule,
+    /// The shrunk reproducer's failure.
+    pub shrunk_failure: DstFailure,
+}
+
+/// Outcome of a fuzz run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzOutcome {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// The first failure (by schedule index), shrunk — or `None`.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// Runs `schedules` generated schedules (seeds derived from `base.seed` via
+/// [`schedule_seed`]) through the parallel cell runner, then shrinks the
+/// first failure. The outcome is byte-identical for every worker count:
+/// results come back in push order and shrinking is serial.
+pub fn fuzz(base: &DstConfig, schedules: usize) -> FuzzOutcome {
+    let mut plan = ExecPlan::new();
+    for index in 0..schedules {
+        let cfg = DstConfig { seed: schedule_seed(base.seed, index), ..*base };
+        plan.push(move || {
+            let schedule = generate(&cfg);
+            let result = run_schedule(&schedule).err();
+            (schedule, result)
+        });
+    }
+    for (index, cell) in plan.run().into_iter().enumerate() {
+        let (schedule, result) = cell.value;
+        if let Some(failure) = result {
+            let shrunk = shrink(&schedule).expect("schedule failed once, so it fails again");
+            return FuzzOutcome {
+                schedules,
+                failure: Some(FuzzFailure {
+                    schedule_index: index,
+                    schedule,
+                    failure,
+                    shrunk: shrunk.schedule,
+                    shrunk_failure: shrunk.failure,
+                }),
+            };
+        }
+    }
+    FuzzOutcome { schedules, failure: None }
+}
+
+// ---------------------------------------------------------------------------
+// Repro files: a hand-rolled RON-like text format (no serde in-tree).
+// ---------------------------------------------------------------------------
+
+/// Serializes a schedule as a replayable repro file.
+pub fn to_repro(schedule: &Schedule) -> String {
+    let mut out = String::from("DstRepro(\n");
+    out.push_str(&format!("    seed: {},\n", schedule.seed));
+    out.push_str(&format!("    peers: {},\n", schedule.peers));
+    out.push_str(&format!("    items: {},\n", schedule.items));
+    out.push_str(&format!("    replication: {},\n", schedule.replication));
+    match schedule.bug {
+        None => out.push_str("    bug: None,\n"),
+        Some(InjectedBug::SkipSuccessorOnHeal) => out.push_str("    bug: SkipSuccessorOnHeal,\n"),
+    }
+    out.push_str("    events: [\n");
+    for event in &schedule.events {
+        out.push_str(&format!("        {event},\n"));
+    }
+    out.push_str("    ],\n)\n");
+    out
+}
+
+/// Parses a repro file produced by [`to_repro`] (whitespace-tolerant).
+pub fn parse_repro(text: &str) -> Result<Schedule, String> {
+    let mut seed = None;
+    let mut peers = None;
+    let mut items = None;
+    let mut replication = None;
+    let mut bug = None;
+    let mut events = Vec::new();
+    let mut in_events = false;
+
+    for raw in text.lines() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "DstRepro(" || line == ")" {
+            continue;
+        }
+        if line == "events: [" {
+            in_events = true;
+            continue;
+        }
+        if in_events {
+            if line == "]" {
+                in_events = false;
+                continue;
+            }
+            events.push(parse_event(line)?);
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("malformed line: {line:?}"))?;
+        match key {
+            "seed" => seed = Some(parse_num(value, "seed")?),
+            "peers" => peers = Some(parse_num(value, "peers")? as usize),
+            "items" => items = Some(parse_num(value, "items")? as usize),
+            "replication" => replication = Some(parse_num(value, "replication")? as usize),
+            "bug" => {
+                bug = match value {
+                    "None" => None,
+                    "SkipSuccessorOnHeal" => Some(InjectedBug::SkipSuccessorOnHeal),
+                    other => return Err(format!("unknown bug: {other:?}")),
+                }
+            }
+            other => return Err(format!("unknown field: {other:?}")),
+        }
+    }
+
+    Ok(Schedule {
+        seed: seed.ok_or("missing seed")?,
+        peers: peers.ok_or("missing peers")?,
+        items: items.ok_or("missing items")?,
+        replication: replication.ok_or("missing replication")?,
+        bug,
+        events,
+    })
+}
+
+fn parse_num(value: &str, field: &str) -> Result<u64, String> {
+    value.parse::<u64>().map_err(|e| format!("bad {field} {value:?}: {e}"))
+}
+
+fn parse_event(line: &str) -> Result<DstEvent, String> {
+    if line == "Heal" {
+        return Ok(DstEvent::Heal);
+    }
+    let (name, rest) = line.split_once('(').ok_or_else(|| format!("malformed event: {line:?}"))?;
+    let args = rest.strip_suffix(')').ok_or_else(|| format!("unclosed event: {line:?}"))?;
+    let mut fields = std::collections::BTreeMap::new();
+    for pair in args.split(',') {
+        let (k, v) = pair
+            .split_once(':')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("malformed event field {pair:?} in {line:?}"))?;
+        fields.insert(k.to_string(), parse_num(v, k)?);
+    }
+    let get = |key: &str| -> Result<u64, String> {
+        fields.get(key).copied().ok_or_else(|| format!("event {line:?} missing field {key:?}"))
+    };
+    match name {
+        "Join" => Ok(DstEvent::Join {
+            id_entropy: get("id_entropy")?,
+            bootstrap_rank: get("bootstrap_rank")?,
+        }),
+        "Leave" => Ok(DstEvent::Leave { victim_rank: get("victim_rank")? }),
+        "Crash" => Ok(DstEvent::Crash { victim_rank: get("victim_rank")? }),
+        "Insert" => Ok(DstEvent::Insert {
+            initiator_rank: get("initiator_rank")?,
+            value_entropy: get("value_entropy")?,
+        }),
+        "Probe" => {
+            Ok(DstEvent::Probe { initiator_rank: get("initiator_rank")?, point: get("point")? })
+        }
+        "EstimateRefresh" => Ok(DstEvent::EstimateRefresh {
+            initiator_rank: get("initiator_rank")?,
+            entropy: get("entropy")?,
+        }),
+        "FaultWindow" => Ok(DstEvent::FaultWindow {
+            entropy: get("entropy")?,
+            loss_pm: get("loss_pm")? as u16,
+            reply_loss_pm: get("reply_loss_pm")? as u16,
+            sick_pm: get("sick_pm")? as u16,
+            duration: get("duration")? as u16,
+        }),
+        other => Err(format!("unknown event: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let cfg = DstConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = DstConfig { seed: cfg.seed + 1, ..cfg };
+        assert_ne!(generate(&cfg).events, generate(&other).events);
+    }
+
+    #[test]
+    fn repro_round_trips() {
+        let cfg = DstConfig { bug: Some(InjectedBug::SkipSuccessorOnHeal), ..DstConfig::default() };
+        let schedule = generate(&cfg);
+        let text = to_repro(&schedule);
+        let parsed = parse_repro(&text).expect("parses");
+        assert_eq!(parsed, schedule);
+        assert_eq!(to_repro(&parsed), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_repro("DstRepro(\n  seed: x,\n)").is_err());
+        assert!(parse_repro("DstRepro(\n  seed: 1,\n)").is_err()); // missing fields
+        let cfg = DstConfig::default();
+        let text = to_repro(&generate(&cfg)).replace("Heal", "Hea1");
+        assert!(parse_repro(&text).is_err() || !text.contains("Hea1"));
+    }
+
+    #[test]
+    fn minimal_injected_bug_schedule_fails_and_clean_one_passes() {
+        let base = Schedule {
+            seed: 7,
+            peers: 24,
+            items: 500,
+            replication: 0,
+            bug: None,
+            events: vec![DstEvent::Crash { victim_rank: 3 }, DstEvent::Heal],
+        };
+        assert!(run_schedule(&base).is_ok(), "{:?}", run_schedule(&base).err());
+        let buggy = Schedule { bug: Some(InjectedBug::SkipSuccessorOnHeal), ..base };
+        let failure = run_schedule(&buggy).expect_err("bug must trip the post-heal oracle");
+        assert_eq!(failure.event_index, 1);
+        assert!(failure.violations.iter().any(|v| v.contains("successor")), "{failure}");
+    }
+
+    #[test]
+    fn shrink_is_a_fixpoint_on_minimal_schedules() {
+        let buggy = Schedule {
+            seed: 7,
+            peers: 24,
+            items: 500,
+            replication: 0,
+            bug: Some(InjectedBug::SkipSuccessorOnHeal),
+            events: vec![DstEvent::Crash { victim_rank: 3 }, DstEvent::Heal],
+        };
+        let shrunk = shrink(&buggy).expect("fails");
+        assert_eq!(shrunk.schedule.events, buggy.events, "already minimal");
+    }
+}

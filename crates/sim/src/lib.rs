@@ -21,6 +21,7 @@
 #![warn(clippy::all)]
 
 pub mod build;
+pub mod dst;
 pub mod exec;
 pub mod experiments;
 pub mod report;
@@ -28,6 +29,7 @@ pub mod runner;
 pub mod scenario;
 
 pub use build::{build, BuiltScenario};
+pub use dst::{DstConfig, DstEvent, DstFailure, InjectedBug, Schedule};
 pub use exec::{CellResult, ExecPlan};
 pub use report::Table;
 pub use runner::{aggregate, aggregate_cell, run_estimator, AggregatedResult, RunResult};

@@ -1,0 +1,89 @@
+//! Tier-3 smoke: a bounded DST fuzz run wired into `cargo test`.
+//!
+//! The full-budget fuzz lives in the nightly CI job (see TESTING.md); this
+//! binary keeps the per-commit cost bounded — a fixed seed corpus plus one
+//! CI-rotated seed (`DST_ROTATE_SEED`), and a bug-injection drill proving
+//! the oracle catches a planted crash-heal race, the shrinker reduces it to
+//! a handful of events, and the repro file replays byte-identically.
+
+use dde_sim::dst::{self, DstConfig, InjectedBug};
+
+/// Schedules per corpus seed. Small on purpose: the clean corpus is a smoke
+/// signal, not the fuzz budget.
+const SMOKE_SCHEDULES: usize = 4;
+
+/// The fixed corpus, plus the CI-rotated seed when `DST_ROTATE_SEED` is set
+/// (the nightly job injects a fresh value so coverage widens over time).
+fn corpus_seeds() -> Vec<u64> {
+    let mut seeds = vec![0xD57, 0xBEEF, 2026];
+    if let Ok(raw) = std::env::var("DST_ROTATE_SEED") {
+        match raw.trim().parse::<u64>() {
+            Ok(seed) => seeds.push(seed),
+            Err(e) => panic!("DST_ROTATE_SEED {raw:?} is not a u64: {e}"),
+        }
+    }
+    seeds
+}
+
+#[test]
+fn clean_corpus_runs_without_violations() {
+    for seed in corpus_seeds() {
+        let cfg = DstConfig { seed, ..DstConfig::default() };
+        let outcome = dst::fuzz(&cfg, SMOKE_SCHEDULES);
+        assert_eq!(outcome.schedules, SMOKE_SCHEDULES);
+        if let Some(found) = outcome.failure {
+            panic!(
+                "corpus seed {seed}: schedule {} violated an invariant:\n{}\nshrunk repro:\n{}",
+                found.schedule_index,
+                found.failure,
+                dst::to_repro(&found.shrunk),
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_bug_is_caught_shrunk_and_replays_byte_identically() {
+    let cfg = DstConfig { bug: Some(InjectedBug::SkipSuccessorOnHeal), ..DstConfig::default() };
+    let outcome = dst::fuzz(&cfg, SMOKE_SCHEDULES);
+    let found = outcome.failure.expect("planted bug must surface within the smoke budget");
+
+    // The shrinker must reduce the schedule to a short reproducer: the bug
+    // needs one Crash followed by one Heal, so a 1-minimal schedule is tiny.
+    assert!(
+        found.shrunk.events.len() <= 10,
+        "shrunk repro still has {} events:\n{}",
+        found.shrunk.events.len(),
+        dst::to_repro(&found.shrunk)
+    );
+
+    // Round-trip through the repro file format, then replay: the failure
+    // report must be byte-identical (the `expts dst --replay` contract).
+    let text = dst::to_repro(&found.shrunk);
+    let parsed = dst::parse_repro(&text).expect("repro text parses back");
+    assert_eq!(parsed, found.shrunk);
+    let replayed = dst::run_schedule(&parsed).expect_err("repro must still fail");
+    assert_eq!(replayed.to_string(), found.shrunk_failure.to_string());
+}
+
+/// `fuzz` must report the same first failure (and shrink it to the same
+/// reproducer) regardless of worker count. Kept as a single test because
+/// the jobs knob is process-global.
+#[test]
+fn fuzz_outcome_is_independent_of_worker_count() {
+    let cfg = DstConfig {
+        bug: Some(InjectedBug::SkipSuccessorOnHeal),
+        events: 24,
+        ..DstConfig::default()
+    };
+    let serial = {
+        dde_sim::exec::set_jobs(1);
+        dst::fuzz(&cfg, 3)
+    };
+    let parallel = {
+        dde_sim::exec::set_jobs(4);
+        dst::fuzz(&cfg, 3)
+    };
+    dde_sim::exec::set_jobs(0);
+    assert_eq!(serial, parallel, "fuzz outcome drifted with the worker count");
+}

@@ -1,0 +1,65 @@
+//! Golden-output fixtures for the quick-scale experiment tables.
+//!
+//! Tier 2 of the test pyramid (see TESTING.md): the determinism suite proves
+//! the experiment output is byte-identical across worker counts, and these
+//! fixtures pin *which* bytes — any change to an estimator, the cost model,
+//! the RNG derivation, or the renderer shows up as a fixture diff that has
+//! to be blessed deliberately:
+//!
+//! `GOLDEN_UPDATE=1 cargo test -p dde-sim --test golden_experiments`
+//!
+//! f1/f3/f5/f5b/f11 are excluded: they are covered by their own behavioural
+//! tests and dominate quick-suite runtime.
+
+use dde_sim::experiments::{run_by_id, Scale};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = fixture(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run with GOLDEN_UPDATE=1"));
+    assert_eq!(
+        rendered, expected,
+        "{name} drifted from its fixture; if intentional, regenerate with GOLDEN_UPDATE=1"
+    );
+}
+
+fn check_experiment(id: &str) {
+    let tables = run_by_id(id, Scale::Quick).expect("known experiment id");
+    assert!(!tables.is_empty(), "{id} produced no tables");
+    for (i, table) in tables.iter().enumerate() {
+        check(&format!("{id}_{i}.txt"), &table.to_text());
+        check(&format!("{id}_{i}.csv"), &table.to_csv());
+    }
+}
+
+macro_rules! golden {
+    ($name:ident, $id:literal) => {
+        #[test]
+        fn $name() {
+            check_experiment($id);
+        }
+    };
+}
+
+golden!(f2_network_size, "f2");
+golden!(f4_cost_accuracy, "f4");
+golden!(f6_granularity, "f6");
+golden!(f7_dataset_size, "f7");
+golden!(f8_routing, "f8");
+golden!(f9_sample_quality, "f9");
+golden!(f10_replication, "f10");
+golden!(t1_defaults, "t1");
+golden!(t2_cost_to_target, "t2");
+golden!(t3_bias_ablation, "t3");
+golden!(t4_probe_strategy, "t4");
+golden!(t5_aggregates, "t5");

@@ -115,6 +115,40 @@ impl GkSketch {
         Some(prev_v)
     }
 
+    /// Merges `other` into `self` by interleaving the tuple lists in value
+    /// order (each tuple keeps its `(g, Δ)`), summing counts, and
+    /// recompressing. The merged sketch answers quantiles within rank error
+    /// `(ε₁ + ε₂)·(n₁ + n₂)` — with equal ε on both sides, `2ε·n` — while
+    /// `epsilon()` keeps reporting the larger input ε (callers merging many
+    /// sketches should budget the doubled bound).
+    pub fn merge(&mut self, other: &GkSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.tuples.len() + other.tuples.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.tuples.len() && j < other.tuples.len() {
+            if self.tuples[i].v <= other.tuples[j].v {
+                merged.push(self.tuples[i]);
+                i += 1;
+            } else {
+                merged.push(other.tuples[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.tuples[i..]);
+        merged.extend_from_slice(&other.tuples[j..]);
+        self.tuples = merged;
+        self.count += other.count;
+        self.epsilon = self.epsilon.max(other.epsilon);
+        self.compress();
+        self.inserts_since_compress = 0;
+    }
+
     /// Builds an equi-depth summary with `buckets` buckets from the sketch's
     /// quantiles — the bridge from streaming peers to probe replies.
     pub fn to_equidepth(&self, buckets: usize) -> EquiDepthSummary {

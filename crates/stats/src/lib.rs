@@ -23,11 +23,14 @@
 //!   1-D Wasserstein, χ²);
 //! * [`reservoir`] — reservoir sampling;
 //! * [`rng`] — deterministic RNG stream derivation so every simulation is
-//!   reproducible from a single seed.
+//!   reproducible from a single seed;
+//! * [`assert`] — DKW-derived confidence-band assertions for estimator
+//!   accuracy tests (KS and Wasserstein bands, per-seed repeat control).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod assert;
 pub mod dist;
 pub mod ecdf;
 pub mod equidepth;

@@ -5,6 +5,7 @@
 use dde_core::{DensityEstimator, DfDde, DfDdeConfig};
 use dde_ring::{ChurnConfig, ChurnProcess, RingId};
 use dde_sim::{build, Scenario};
+use dde_stats::assert::KsBand;
 use dde_stats::rng::{Component, SeedSequence};
 use dde_stats::Ecdf;
 use rand::Rng;
@@ -83,7 +84,41 @@ fn ring_heals_and_estimation_recovers_after_storm() {
         .expect("healed network estimates");
     let surviving = Ecdf::new(built.net.global_values());
     let ks = report.estimate.ks_to(&surviving);
-    assert!(ks < 0.2, "post-heal estimate off: ks = {ks}");
+    // 128 probe replies are the effective sample behind the skeleton; the
+    // systematic term covers summary granularity plus the post-storm shelf
+    // structure (see TESTING.md for the band methodology).
+    KsBand::new(128, 1e-3).with_systematic(0.03).assert("post-heal estimate", ks);
+}
+
+/// Regression guard for crash-heal races: across repeated storm → heal
+/// cycles, *every* heal must restore both the always-true local invariants
+/// and the full ground-truth ring + data-placement invariants. A single
+/// storm can miss repair orderings that only arise when stale state from a
+/// previous storm meets fresh churn, so cycle several times.
+#[test]
+fn every_heal_cycle_restores_all_invariants() {
+    let mut built = build(&scenario());
+    let seq = SeedSequence::new(109);
+    let mut churn_rng = seq.stream(Component::Churn, 0);
+    let cfg =
+        ChurnConfig { join_rate: 0.25, leave_rate: 0.12, fail_rate: 0.12, stabilize_period: 5.0 };
+    let mut churn = ChurnProcess::new(cfg);
+
+    for cycle in 0..4 {
+        churn.run(&mut built.net, 2.5, &mut churn_rng);
+        let mut quiesced = false;
+        for _ in 0..40 {
+            if built.net.stabilize_round() == 0 {
+                quiesced = true;
+                break;
+            }
+        }
+        assert!(quiesced, "cycle {cycle}: stabilization never went quiet");
+        let local = built.net.check_local_invariants();
+        assert!(local.is_empty(), "cycle {cycle}: local invariants broken: {local:?}");
+        let full = built.net.check_invariants();
+        assert!(full.is_empty(), "cycle {cycle}: heal left violations: {full:?}");
+    }
 }
 
 #[test]

@@ -7,6 +7,7 @@ use dde_core::{
     RandomWalkConfig, RandomWalkSampling, SampleMode, UniformPeerConfig, UniformPeerSampling,
 };
 use dde_sim::{build, run_estimator, PlacementMode, Scenario};
+use dde_stats::assert::KsBand;
 use dde_stats::dist::DistributionKind;
 
 fn estimators() -> Vec<Box<dyn DensityEstimator>> {
@@ -64,7 +65,11 @@ fn both_placements_work() {
             .with_seed(23);
         let mut built = build(&scenario);
         let r = run_estimator(&mut built, &DfDde::new(DfDdeConfig::with_probes(96)), 0).unwrap();
-        assert!(r.ks_vs_data < 0.2, "df-dde under {placement:?}: ks = {}", r.ks_vs_data);
+        // 96 probe replies behind the skeleton; the systematic term covers
+        // the 8-bucket summary granularity (band methodology: TESTING.md).
+        KsBand::new(96, 1e-3)
+            .with_systematic(0.04)
+            .assert(&format!("df-dde under {placement:?}"), r.ks_vs_data);
     }
 }
 

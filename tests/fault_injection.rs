@@ -5,6 +5,7 @@
 use dde_core::{CdfSkeleton, DfDde, DfDdeConfig, RetryPolicy, Weighting};
 use dde_ring::FaultPlan;
 use dde_sim::{build, run_estimator, BuiltScenario, Scenario};
+use dde_stats::assert::KsBand;
 use dde_stats::rng::{Component, SeedSequence};
 use dde_stats::CdfFn as _;
 use proptest::prelude::*;
@@ -45,10 +46,13 @@ fn dfdde_meets_ks_bound_at_ten_percent_loss() {
     let lossy = mean_ks(0.1, 3);
     // Retries re-issue lost probes within their stratum, so 10% loss must
     // not meaningfully degrade accuracy: within 2x of the clean KS and
-    // still inside the absolute bound the clean estimator meets.
-    assert!(clean < 0.15, "clean ks = {clean}");
+    // still inside the band the clean estimator meets. The mean of 3 runs
+    // of K probes has effective sample size 3K; the systematic term covers
+    // summary granularity and HT-weighting error (see TESTING.md).
+    let band = KsBand::new(3 * K, 1e-3).with_systematic(0.05);
+    band.assert("clean mean ks", clean);
     assert!(lossy <= 2.0 * clean, "ks degraded under loss: {lossy} vs clean {clean}");
-    assert!(lossy < 0.2, "lossy ks = {lossy}");
+    band.assert("lossy mean ks", lossy);
 }
 
 #[test]
