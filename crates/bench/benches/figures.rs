@@ -28,7 +28,7 @@ fn bench_estimate(c: &mut Criterion, group: &str, scenario: &Scenario, probes: &
             b.iter(|| {
                 let initiator = built.net.random_peer(&mut rng).expect("nonempty");
                 est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-            })
+            });
         });
     }
     g.finish();
@@ -52,7 +52,7 @@ fn f2(c: &mut Criterion) {
             b.iter(|| {
                 let initiator = built.net.random_peer(&mut rng).expect("nonempty");
                 est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-            })
+            });
         });
     }
     g.finish();
@@ -75,7 +75,7 @@ fn f3(c: &mut Criterion) {
             b.iter(|| {
                 let initiator = built.net.random_peer(&mut rng).expect("nonempty");
                 est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-            })
+            });
         });
     }
     g.finish();
@@ -95,7 +95,7 @@ fn f4(c: &mut Criterion) {
             b.iter(|| {
                 let initiator = built.net.random_peer(&mut rng).expect("nonempty");
                 est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-            })
+            });
         });
     }
     g.finish();
@@ -118,7 +118,7 @@ fn f5(c: &mut Criterion) {
             DfDde::new(DfDdeConfig::with_probes(64))
                 .estimate(&mut built.net, initiator, &mut est_rng)
                 .ok()
-        })
+        });
     });
     g.finish();
 }
@@ -135,7 +135,7 @@ fn f5b(c: &mut Criterion) {
         b.iter(|| {
             cont.tick(&mut built.net, initiator, &mut rng).expect("tick");
             cont.current_estimate((0.0, 1000.0)).ok()
-        })
+        });
     });
     g.finish();
 }
@@ -153,7 +153,7 @@ fn f6(c: &mut Criterion) {
             .expect("nonempty");
         let store = &built.net.node(busiest).expect("alive").store;
         g.bench_with_input(BenchmarkId::from_parameter(buckets), &buckets, |b, &buckets| {
-            b.iter(|| store.summary(buckets))
+            b.iter(|| store.summary(buckets));
         });
     }
     g.finish();
@@ -166,7 +166,7 @@ fn f7(c: &mut Criterion) {
     for n in [5_000usize, 50_000] {
         let scenario = default_scenario(Scale::Quick).with_items(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| build(&scenario).net.total_items())
+            b.iter(|| build(&scenario).net.total_items());
         });
     }
     g.finish();
@@ -181,7 +181,7 @@ fn f8(c: &mut Criterion) {
         let mut rng = SeedSequence::new(13).stream(Component::Workload, p as u64);
         let from = built.net.random_peer(&mut rng).expect("nonempty");
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
-            b.iter(|| built.net.lookup(from, RingId(rng.gen())).expect("routes"))
+            b.iter(|| built.net.lookup(from, RingId(rng.gen())).expect("routes"));
         });
     }
     g.finish();
@@ -202,7 +202,7 @@ fn f9(c: &mut Criterion) {
             b.iter(|| {
                 let initiator = built.net.random_peer(&mut rng).expect("nonempty");
                 est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-            })
+            });
         });
     }
     g.finish();
@@ -216,7 +216,7 @@ fn f10(c: &mut Criterion) {
         let mut built = build(&default_scenario(Scale::Quick));
         built.net.set_replication(r);
         g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
-            b.iter(|| built.net.stabilize_round())
+            b.iter(|| built.net.stabilize_round());
         });
     }
     g.finish();

@@ -27,7 +27,7 @@ fn lookup(c: &mut Criterion) {
         let mut rng = SeedSequence::new(2).stream(Component::Workload, p as u64);
         let from = net.random_peer(&mut rng).expect("nonempty");
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
-            b.iter(|| net.lookup(from, RingId(rng.gen())).expect("routes"))
+            b.iter(|| net.lookup(from, RingId(rng.gen())).expect("routes"));
         });
     }
     g.finish();
@@ -42,7 +42,7 @@ fn probe(c: &mut Criterion) {
     let mut rng = SeedSequence::new(4).stream(Component::Probes, 0);
     let from = net.random_peer(&mut rng).expect("nonempty");
     c.bench_function("micro/probe", |b| {
-        b.iter(|| net.probe(from, RingId(rng.gen())).expect("probes"))
+        b.iter(|| net.probe(from, RingId(rng.gen())).expect("probes"));
     });
 }
 
@@ -69,7 +69,7 @@ fn gk_insert(c: &mut Criterion) {
                 sk.insert(f64::from(i % 997));
             }
             sk.size()
-        })
+        });
     });
 }
 
@@ -93,7 +93,7 @@ fn skeleton_assembly(c: &mut Criterion) {
                 dde_core::skeleton::Weighting::HorvitzThompson,
             )
             .expect("builds")
-        })
+        });
     });
 }
 
@@ -124,7 +124,7 @@ fn range_query(c: &mut Criterion) {
     let mut rng = SeedSequence::new(10).stream(Component::Workload, 0);
     let from = net.random_peer(&mut rng).expect("nonempty");
     c.bench_function("micro/range_query_5pct", |b| {
-        b.iter(|| net.range_query(from, 475.0, 525.0).expect("queries"))
+        b.iter(|| net.range_query(from, 475.0, 525.0).expect("queries"));
     });
 }
 

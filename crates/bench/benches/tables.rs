@@ -25,14 +25,14 @@ fn t1(c: &mut Criterion) {
         b.iter(|| {
             let initiator = built.net.random_peer(&mut rng).expect("nonempty");
             dfdde.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-        })
+        });
     });
     let exact = ExactAggregation::new();
     g.bench_function("exact-walk", |b| {
         b.iter(|| {
             let initiator = built.net.random_peer(&mut rng).expect("nonempty");
             exact.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-        })
+        });
     });
     g.finish();
 }
@@ -49,14 +49,14 @@ fn t2(c: &mut Criterion) {
         b.iter(|| {
             let initiator = built.net.random_peer(&mut rng).expect("nonempty");
             up.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-        })
+        });
     });
     let gossip = GossipAggregation::new(GossipConfig { rounds: 10, ..Default::default() });
     g.bench_function("gossip-10-rounds", |b| {
         b.iter(|| {
             let initiator = built.net.random_peer(&mut rng).expect("nonempty");
             gossip.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-        })
+        });
     });
     g.finish();
 }
@@ -76,7 +76,7 @@ fn t3(c: &mut Criterion) {
             b.iter(|| {
                 let initiator = built.net.random_peer(&mut rng).expect("nonempty");
                 est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-            })
+            });
         });
     }
     g.finish();
@@ -96,7 +96,7 @@ fn t4(c: &mut Criterion) {
             b.iter(|| {
                 let initiator = built.net.random_peer(&mut rng).expect("nonempty");
                 est.estimate(&mut built.net, initiator, &mut rng).expect("estimates")
-            })
+            });
         });
     }
     g.finish();
@@ -113,7 +113,7 @@ fn t5(c: &mut Criterion) {
         b.iter(|| {
             let initiator = built.net.random_peer(&mut rng).expect("nonempty");
             est.query(&mut built.net, initiator, &mut rng).expect("queries")
-        })
+        });
     });
     g.finish();
 }

@@ -71,7 +71,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+        ids = ALL_IDS.iter().map(std::string::ToString::to_string).collect();
     }
 
     if let Some(dir) = &csv_dir {
@@ -88,12 +88,14 @@ fn main() {
     println!("ring-dde experiment suite ({label} scale)\n");
 
     let jobs = exec::jobs();
+    // ddelint::allow(wallclock, "timing-only: suite wall-clock goes to the stderr summary, never into a table")
     let suite_start = Instant::now();
     let mut total_cells = 0u64;
     let mut total_cpu = Duration::ZERO;
     let _ = exec::take_stats(); // start the counters from zero
 
     for id in &ids {
+        // ddelint::allow(wallclock, "timing-only: per-experiment wall-clock goes to the stderr progress line, never into a table")
         let start = Instant::now();
         let Some(tables) = run_by_id(id, scale) else {
             eprintln!("unknown experiment id '{id}' (known: {})", ALL_IDS.join(" "));
@@ -223,6 +225,7 @@ fn dst_main(raw: Vec<String>) {
         return;
     }
 
+    // ddelint::allow(wallclock, "timing-only: fuzz wall-clock goes to the stderr summary; schedules derive from the seed alone")
     let start = Instant::now();
     eprintln!(
         "dst fuzz: {schedules} schedules x {} events (seed {}, peers {}, items {}, \

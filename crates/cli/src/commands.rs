@@ -341,7 +341,7 @@ fn gini(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let total: f64 = sorted.iter().sum();
     if total <= 0.0 {

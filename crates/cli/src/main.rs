@@ -22,18 +22,6 @@ mod json;
 use args::Args;
 
 fn main() {
-    let parsed = match Args::parse(std::env::args().skip(1)) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("{}", commands::USAGE);
-            std::process::exit(2);
-        }
-    };
-    let Some(command) = parsed.command.clone() else {
-        eprintln!("{}", commands::USAGE);
-        std::process::exit(2);
-    };
     // Typo guard: warn about options no command reads.
     const KNOWN: &[&str] = &[
         "peers",
@@ -53,6 +41,19 @@ fn main() {
         "loss",
         "fault-seed",
     ];
+
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let Some(command) = parsed.command.clone() else {
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    };
     for key in parsed.unknown_keys(KNOWN) {
         eprintln!("warning: ignoring unknown option --{key}");
     }

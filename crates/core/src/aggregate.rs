@@ -42,11 +42,15 @@ pub struct AggregateReport {
 
 impl AggregateReport {
     /// Estimated global standard deviation.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn std_dev(&self) -> f64 {
         self.variance.sqrt()
     }
 
     /// Estimated number of items in `[lo, hi]`.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn range_count(&self, lo: f64, hi: f64) -> f64 {
         if hi < lo {
             return 0.0;
@@ -55,6 +59,8 @@ impl AggregateReport {
     }
 
     /// Estimated `q`-quantile of the global data.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn quantile(&self, q: f64) -> f64 {
         self.skeleton.cdf.inv_cdf(q)
     }
@@ -69,16 +75,22 @@ pub struct AggregateEstimator {
 
 impl AggregateEstimator {
     /// Creates the estimator with `k` probes (HT weighting, stratified).
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn with_probes(probes: usize) -> Self {
         Self { config: DfDdeConfig::with_probes(probes) }
     }
 
     /// Creates from a full DF-DDE configuration.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(config: DfDdeConfig) -> Self {
         Self { config }
     }
 
     /// Runs the aggregate query from `initiator`.
+    ///
+    /// Determinism: draws randomness only from the caller-supplied RNG stream; identical inputs and RNG state produce identical output.
     pub fn query(
         &self,
         net: &mut Network,
@@ -111,6 +123,8 @@ impl AggregateEstimator {
 
 /// The HT aggregate arithmetic on raw replies:
 /// `(count, sum, mean, variance)`, or `None` with <2 usable replies.
+///
+/// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
 pub fn estimate_aggregates(
     replies: &[ProbeReply],
     weighting: Weighting,

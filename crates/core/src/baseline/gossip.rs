@@ -42,11 +42,15 @@ pub struct GossipAggregation {
 
 impl GossipAggregation {
     /// Creates the estimator.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(config: GossipConfig) -> Self {
         Self { config }
     }
 
     /// The configuration.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn config(&self) -> &GossipConfig {
         &self.config
     }

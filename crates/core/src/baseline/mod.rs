@@ -51,7 +51,7 @@ pub(crate) fn pool_replies(
         .flat_map(|r| r.summary.boundaries().iter().copied())
         .filter(|x| x.is_finite() && *x > lo && *x < hi)
         .collect();
-    support.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    support.sort_by(f64::total_cmp);
     support.dedup();
     if support.len() > support_cap {
         let step = support.len() as f64 / support_cap as f64;

@@ -47,11 +47,15 @@ pub struct RandomWalkSampling {
 
 impl RandomWalkSampling {
     /// Creates the estimator.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(config: RandomWalkConfig) -> Self {
         Self { config }
     }
 
     /// The configuration.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn config(&self) -> &RandomWalkConfig {
         &self.config
     }

@@ -43,11 +43,15 @@ pub struct UniformPeerSampling {
 
 impl UniformPeerSampling {
     /// Creates the estimator.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(config: UniformPeerConfig) -> Self {
         Self { config }
     }
 
     /// The configuration.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn config(&self) -> &UniformPeerConfig {
         &self.config
     }

@@ -53,17 +53,23 @@ pub struct ContinuousEstimator {
 
 impl ContinuousEstimator {
     /// Creates an estimator with an empty probe window.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(config: ContinuousConfig) -> Self {
         Self { config, window: VecDeque::with_capacity(config.window) }
     }
 
     /// Probes currently held.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn probes_held(&self) -> usize {
         self.window.len()
     }
 
     /// Fills the window up to capacity with fresh probes (charged to the
     /// network) regardless of the refresh rate — bootstrap before monitoring.
+    ///
+    /// Determinism: draws randomness only from the caller-supplied RNG stream; identical inputs and RNG state produce identical output.
     pub fn prefill(
         &mut self,
         net: &mut Network,
@@ -87,6 +93,8 @@ impl ContinuousEstimator {
 
     /// Issues `refresh_per_tick` fresh probes (charged to the network) and
     /// evicts the oldest beyond the window. Call once per simulation tick.
+    ///
+    /// Determinism: draws randomness only from the caller-supplied RNG stream; identical inputs and RNG state produce identical output.
     pub fn tick(
         &mut self,
         net: &mut Network,
@@ -111,6 +119,8 @@ impl ContinuousEstimator {
     /// The current estimate, rebuilt from the probe window (stale probes —
     /// from peers that may have departed or split their arcs — are used
     /// as-is: that staleness *is* the dynamic-network error being studied).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn current_estimate(&self, domain: (f64, f64)) -> Result<DensityEstimate, EstimateError> {
         let replies: Vec<ProbeReply> = self.window.iter().cloned().collect();
         let skeleton = CdfSkeleton::from_probes(

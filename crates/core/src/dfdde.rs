@@ -81,6 +81,8 @@ impl Default for DfDdeConfig {
 
 impl DfDdeConfig {
     /// Convenience: default config with `k` probes.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn with_probes(probes: usize) -> Self {
         Self { probes, ..Self::default() }
     }
@@ -94,17 +96,23 @@ pub struct DfDde {
 
 impl DfDde {
     /// Creates the estimator with the given configuration.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(config: DfDdeConfig) -> Self {
         Self { config }
     }
 
     /// The configuration.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn config(&self) -> &DfDdeConfig {
         &self.config
     }
 
     /// Phase 1 alone: run the probes and return the raw replies (exposed for
     /// the continuous estimator, which manages its own probe window).
+    ///
+    /// Determinism: draws randomness only from the caller-supplied RNG stream; identical inputs and RNG state produce identical output.
     pub fn run_probes(
         &self,
         net: &mut Network,
@@ -152,6 +160,8 @@ impl DfDde {
 
     /// Builds the skeleton from replies (None-safe wrapper used by both this
     /// estimator and the continuous one).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn build_skeleton(
         &self,
         replies: &[ProbeReply],

@@ -143,7 +143,7 @@ impl DensityEstimate {
             .max_by(|a, b| {
                 let da = (a[1].1 - a[0].1) / (a[1].0 - a[0].0).max(f64::MIN_POSITIVE);
                 let db = (b[1].1 - b[0].1) / (b[1].0 - b[0].0).max(f64::MIN_POSITIVE);
-                da.partial_cmp(&db).expect("finite densities")
+                da.total_cmp(&db)
             })
             .map(|w| 0.5 * (w[0].0 + w[1].0))
             .expect("skeleton has ≥1 segment")

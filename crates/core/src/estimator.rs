@@ -67,11 +67,15 @@ pub struct EstimationReport {
 
 impl EstimationReport {
     /// Total messages this run sent.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn messages(&self) -> u64 {
         self.cost.total_messages()
     }
 
     /// Total bytes this run moved.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bytes(&self) -> u64 {
         self.cost.total_bytes()
     }

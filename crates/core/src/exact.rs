@@ -17,6 +17,8 @@ pub struct ExactAggregation {
 
 impl ExactAggregation {
     /// Creates the aggregator with the default support cap.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new() -> Self {
         Self { support_cap: 16_384 }
     }
@@ -81,7 +83,7 @@ impl DensityEstimator for ExactAggregation {
                 .flat_map(|(_, s)| s.boundaries().iter().copied())
                 .filter(|x| x.is_finite() && *x > lo && *x < hi)
                 .collect();
-            support.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            support.sort_by(f64::total_cmp);
             support.dedup();
             if support.len() > self.support_cap {
                 let step = support.len() as f64 / self.support_cap as f64;

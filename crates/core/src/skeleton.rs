@@ -57,6 +57,8 @@ impl CdfSkeleton {
     /// interior support points (uniformly thinned if the union of summary
     /// boundaries exceeds it). Returns `None` when fewer than 2 usable
     /// replies exist or the estimated total is not positive.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_probes(
         replies: &[ProbeReply],
         domain: (f64, f64),
@@ -99,7 +101,9 @@ impl CdfSkeleton {
             .flat_map(|(r, _)| r.summary.boundaries().iter().copied())
             .filter(|x| x.is_finite() && *x > lo && *x < hi)
             .collect();
-        support.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // total_cmp: panic-free and a total order even for non-finite input,
+        // so the support order is deterministic with no filter coupling.
+        support.sort_by(f64::total_cmp);
         support.dedup();
         if support.len() > support_cap {
             let step = support.len() as f64 / support_cap as f64;

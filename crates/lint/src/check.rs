@@ -1,0 +1,382 @@
+//! Per-file rule checking: needle scan, `#[cfg(test)]` regions, the
+//! `ddelint::allow` grammar, and the D6 doc-contract rule.
+
+use crate::lexer::{lex, Lexed};
+use crate::policy;
+use crate::rules::{Boundary, RuleId, NEEDLES};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// What went wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}] {} — `{}`",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.code(),
+            self.rule.name(),
+            self.message,
+            self.snippet
+        )
+    }
+}
+
+/// A parsed `ddelint::allow(rule, reason)` escape.
+#[derive(Debug)]
+struct Allow {
+    rule: RuleId,
+    /// Lines this allow covers: its own line, plus the next code-bearing
+    /// line when the allow stands alone on its line.
+    lines: Vec<usize>,
+    /// Where the allow itself sits (for A1 reporting).
+    line: usize,
+    col: usize,
+    at: usize,
+    used: bool,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extracts the trimmed source line containing `byte`, capped for display.
+fn snippet_at(src: &str, lexed: &Lexed, byte: usize) -> String {
+    let (line, _) = lexed.pos(byte);
+    let (start, end) = lexed.line_span(line);
+    let text = src[start..end].trim();
+    if text.len() > 90 {
+        let mut cut = 87;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}...", &text[..cut])
+    } else {
+        text.to_string()
+    }
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated items (modules or functions), found
+/// by brace-matching in the code mask so braces inside literals can't
+/// confuse the span.
+fn test_regions(mask: &str) -> Vec<(usize, usize)> {
+    let bytes = mask.as_bytes();
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = mask[from..].find("#[cfg(test)]") {
+        let attr = from + rel;
+        let mut i = attr + "#[cfg(test)]".len();
+        // Walk to the gated item's opening brace; stop at `;` (a gated
+        // `use`/`mod foo;` has no body to skip).
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        if let Some(start) = open {
+            let mut depth = 0usize;
+            let mut j = start;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            regions.push((attr, j + 1));
+            from = j + 1;
+        } else {
+            from = i.max(attr + 1);
+        }
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], byte: usize) -> bool {
+    regions.iter().any(|&(a, b)| byte >= a && byte < b)
+}
+
+/// Parses every `ddelint::allow(rule, reason)` escape in the file's
+/// comments. Malformed escapes become `A0` violations immediately.
+fn parse_allows(src: &str, lexed: &Lexed, path: &str, out: &mut Vec<Violation>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in &lexed.comments {
+        // Escapes live in plain comments only; doc comments are prose and may
+        // quote the allow grammar without being parsed as escapes.
+        if comment.text.starts_with("///")
+            || comment.text.starts_with("//!")
+            || comment.text.starts_with("/**")
+            || comment.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let mut search = 0;
+        while let Some(rel) = comment.text[search..].find("ddelint::allow") {
+            let key = search + rel;
+            let at = comment.start + key;
+            let (line, col) = lexed.pos(at);
+            let after = &comment.text[key + "ddelint::allow".len()..];
+            search = key + "ddelint::allow".len();
+            let mut bad = |msg: String| {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line,
+                    col,
+                    rule: RuleId::A0,
+                    message: msg,
+                    snippet: snippet_at(src, lexed, at),
+                });
+            };
+            let Some(body) = after.strip_prefix('(').and_then(|rest| {
+                // Find the matching close paren, tolerating parens in the
+                // reason text.
+                let mut depth = 1usize;
+                for (i, c) in rest.char_indices() {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(&rest[..i]);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                None
+            }) else {
+                bad("allow must be written `ddelint::allow(rule, reason)`".to_string());
+                continue;
+            };
+            let Some((rule_txt, reason)) = body.split_once(',') else {
+                bad(format!(
+                    "allow `({})` is missing a reason — every escape must say why",
+                    body.trim()
+                ));
+                continue;
+            };
+            let rule_txt = rule_txt.trim();
+            let Some(rule) = RuleId::parse(rule_txt) else {
+                bad(format!("unknown rule `{rule_txt}` in allow"));
+                continue;
+            };
+            if !rule.allowable() {
+                bad(format!("rule {} cannot be allowed away", rule.code()));
+                continue;
+            }
+            let reason = reason.trim().trim_matches('"').trim();
+            if reason.is_empty() {
+                bad(format!("allow for {} has an empty reason", rule.code()));
+                continue;
+            }
+            // Coverage: the allow's own line, plus — when nothing but the
+            // comment occupies that line — the next line carrying code.
+            let mut lines = vec![line];
+            let (ls, le) = lexed.line_span(line);
+            let own_line_code = lexed.mask[ls..le].trim();
+            if own_line_code.is_empty() {
+                let mut next = line + 1;
+                while next <= lexed.line_count() {
+                    let (ns, ne) = lexed.line_span(next);
+                    if !lexed.mask[ns..ne].trim().is_empty() {
+                        lines.push(next);
+                        break;
+                    }
+                    next += 1;
+                }
+            }
+            allows.push(Allow { rule, lines, line, col, at, used: false });
+        }
+    }
+    allows
+}
+
+/// Scans the code mask for the textual needles D1–D5.
+fn scan_needles(
+    src: &str,
+    lexed: &Lexed,
+    path: &str,
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let mask = lexed.mask.as_bytes();
+    for needle in NEEDLES {
+        if !policy::applies(needle.rule, path) {
+            continue;
+        }
+        let pat = needle.text.as_bytes();
+        let mut from = 0;
+        while let Some(rel) = lexed.mask[from..].find(needle.text) {
+            let at = from + rel;
+            from = at + 1;
+            let head_ok = match needle.boundary {
+                Boundary::Ident => at == 0 || !is_ident_byte(mask[at - 1]),
+                Boundary::Exact => true,
+            };
+            let end = at + pat.len();
+            let tail_ok = match needle.boundary {
+                Boundary::Ident => end >= mask.len() || !is_ident_byte(mask[end]),
+                Boundary::Exact => true,
+            };
+            if !head_ok || !tail_ok {
+                continue;
+            }
+            if policy::test_exempt(needle.rule) && in_regions(regions, at) {
+                continue;
+            }
+            let (line, col) = lexed.pos(at);
+            out.push(Violation {
+                path: path.to_string(),
+                line,
+                col,
+                rule: needle.rule,
+                message: format!("`{}` — {}", needle.text, needle.rule.describe()),
+                snippet: snippet_at(src, lexed, at),
+            });
+        }
+    }
+}
+
+/// D6: every `pub fn` in an estimator module carries a doc comment naming
+/// its determinism contract (any doc line mentioning "determinis…").
+fn check_d6(
+    src: &str,
+    lexed: &Lexed,
+    path: &str,
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    if !policy::applies(RuleId::D6, path) {
+        return;
+    }
+    let mask = lexed.mask.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = lexed.mask[from..].find("pub fn") {
+        let at = from + rel;
+        from = at + 1;
+        let head_ok = at == 0 || !is_ident_byte(mask[at - 1]);
+        let end = at + "pub fn".len();
+        let tail_ok = end < mask.len() && mask[end] == b' ';
+        if !head_ok || !tail_ok || in_regions(regions, at) {
+            continue;
+        }
+        let (line, col) = lexed.pos(at);
+        // Walk upward over the item's contiguous header: doc comments and
+        // attributes directly above the `pub fn` line.
+        let mut docs = String::new();
+        let mut up = line;
+        while up > 1 {
+            up -= 1;
+            let (ls, le) = lexed.line_span(up);
+            let code = lexed.mask[ls..le].trim();
+            let text = src[ls..le].trim();
+            if text.starts_with("///") {
+                docs.push_str(text);
+                docs.push('\n');
+            } else if code.starts_with("#[") || (code.is_empty() && text.starts_with("//")) {
+                // Attribute or an ordinary comment inside the header — keep
+                // climbing (allow comments live here too).
+            } else {
+                break;
+            }
+        }
+        let lower = docs.to_lowercase();
+        let message = if docs.is_empty() {
+            Some("pub fn has no doc comment; document its determinism contract")
+        } else if !lower.contains("determinis") {
+            Some("doc comment does not name the fn's determinism contract")
+        } else {
+            None
+        };
+        if let Some(message) = message {
+            out.push(Violation {
+                path: path.to_string(),
+                line,
+                col,
+                rule: RuleId::D6,
+                message: message.to_string(),
+                snippet: snippet_at(src, lexed, at),
+            });
+        }
+    }
+}
+
+/// Checks one file, returning its violations sorted by position.
+///
+/// `path` must be workspace-relative with `/` separators — rule scoping is
+/// path-driven, so the same contents lint differently under different paths
+/// (which is what the fixture tests exploit).
+pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let regions = test_regions(&lexed.mask);
+    let mut raw = Vec::new();
+    let mut allows = parse_allows(src, &lexed, path, &mut raw);
+    scan_needles(src, &lexed, path, &regions, &mut raw);
+    check_d6(src, &lexed, path, &regions, &mut raw);
+
+    // Apply allows: a violation on a covered line with a matching rule is
+    // suppressed and marks the allow used.
+    let mut kept: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| {
+            if matches!(v.rule, RuleId::A0 | RuleId::A1) {
+                return true;
+            }
+            for allow in &mut allows {
+                if allow.rule == v.rule && allow.lines.contains(&v.line) {
+                    allow.used = true;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+
+    for allow in &allows {
+        if !allow.used {
+            kept.push(Violation {
+                path: path.to_string(),
+                line: allow.line,
+                col: allow.col,
+                rule: RuleId::A1,
+                message: format!(
+                    "allow for {}[{}] suppressed nothing — remove the stale escape",
+                    allow.rule.code(),
+                    allow.rule.name()
+                ),
+                snippet: snippet_at(src, &lexed, allow.at),
+            });
+        }
+    }
+
+    kept.sort_by_key(|a| (a.line, a.col, a.rule));
+    kept
+}

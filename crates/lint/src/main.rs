@@ -1,0 +1,95 @@
+//! The `ddelint` binary: `cargo run -p lint -- check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::rules::RuleId;
+
+const USAGE: &str = "\
+ddelint — workspace determinism/hygiene linter
+
+USAGE:
+    ddelint check [--root PATH]   lint every .rs file, exit 1 on violations
+    ddelint rules                 print the rule table
+";
+
+fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(root) = explicit {
+        return Some(root);
+    }
+    // Ascend from the current directory to the first Cargo.toml declaring a
+    // [workspace]; `cargo run -p lint` starts in the invocation directory,
+    // which may be a crate subdirectory.
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let command = args.next();
+    match command.as_deref() {
+        Some("rules") => {
+            let all = [
+                RuleId::D1,
+                RuleId::D2,
+                RuleId::D3,
+                RuleId::D4,
+                RuleId::D5,
+                RuleId::D6,
+                RuleId::A0,
+                RuleId::A1,
+            ];
+            for rule in all {
+                println!("{} [{}] — {}", rule.code(), rule.name(), rule.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut root = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => root = args.next().map(PathBuf::from),
+                    other => {
+                        eprintln!("unknown argument `{other}`\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let Some(root) = workspace_root(root) else {
+                eprintln!("ddelint: no workspace root found (pass --root PATH)");
+                return ExitCode::FAILURE;
+            };
+            match lint::check_tree(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("ddelint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        println!("{v}");
+                    }
+                    println!("ddelint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("ddelint: I/O error: {err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

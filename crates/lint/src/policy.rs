@@ -1,0 +1,96 @@
+//! Path-scoped rule policy.
+//!
+//! Paths are workspace-relative with `/` separators. The policy is code, not
+//! config: the rule set is repo-specific law, and changing where a rule
+//! applies should show up in review as a diff to this file (see TESTING.md
+//! §"Tier 0 — static analysis" for the rationale and the procedure for
+//! adding a rule).
+
+use crate::rules::RuleId;
+
+/// The four crates whose behaviour must be a pure function of the seed.
+const DET_CRATES: &[&str] = &["crates/core/", "crates/ring/", "crates/stats/", "crates/sim/"];
+
+/// Estimator modules whose public API must document a determinism contract
+/// (rule D6). Kept explicit so adding a module is a reviewed decision.
+pub const D6_FILES: &[&str] = &[
+    "crates/core/src/estimator.rs",
+    "crates/core/src/dfdde.rs",
+    "crates/core/src/continuous.rs",
+    "crates/core/src/exact.rs",
+    "crates/core/src/aggregate.rs",
+    "crates/core/src/skeleton.rs",
+    "crates/core/src/baseline/gossip.rs",
+    "crates/core/src/baseline/random_walk.rs",
+    "crates/core/src/baseline/uniform_peer.rs",
+    "crates/stats/src/ecdf.rs",
+    "crates/stats/src/gk.rs",
+    "crates/stats/src/equidepth.rs",
+    "crates/stats/src/piecewise.rs",
+    "crates/stats/src/kde.rs",
+    "crates/stats/src/histogram.rs",
+];
+
+/// Whether the walker should descend into / lint this path at all.
+///
+/// Fixtures are deliberate rule violations (the lint test corpus), `target`
+/// and `.git` are build products, and the shims vendor an external API
+/// surface (they *define* `thread_rng`; holding them to the workspace's
+/// conventions would mean diverging from the upstream API they mirror).
+pub fn linted(path: &str) -> bool {
+    !path.starts_with("target/")
+        && !path.contains("/target/")
+        && !path.starts_with(".git/")
+        && !path.contains("tests/fixtures/")
+}
+
+fn in_shims(path: &str) -> bool {
+    path.starts_with("shims/")
+}
+
+fn in_det_crate(path: &str) -> bool {
+    DET_CRATES.iter().any(|c| path.starts_with(c))
+}
+
+fn in_det_src(path: &str) -> bool {
+    DET_CRATES.iter().any(|c| {
+        let mut src = String::with_capacity(c.len() + 4);
+        src.push_str(c);
+        src.push_str("src/");
+        path.starts_with(&src)
+    })
+}
+
+/// Whether `rule` applies to the file at `path` (before `#[cfg(test)]`
+/// region and allow-comment filtering, which are positional, not per-file).
+pub fn applies(rule: RuleId, path: &str) -> bool {
+    if in_shims(path) {
+        // Shims mirror external crates; only the allow-grammar rules apply
+        // (an allow comment in a shim must still be well-formed).
+        return matches!(rule, RuleId::A0 | RuleId::A1);
+    }
+    match rule {
+        // The one sanctioned entropy module is stats::rng — everything else,
+        // including test code and examples, derives from SeedSequence.
+        RuleId::D1 => path != "crates/stats/src/rng.rs",
+        // Wall-clock reads need a site-level allow everywhere; the timing
+        // paths in sim::exec and crates/bench carry them inline.
+        RuleId::D2 => true,
+        RuleId::D3 => in_det_crate(path) || path.starts_with("tests/"),
+        RuleId::D4 => true,
+        // D5 is scoped to library-crate src; `#[cfg(test)]` regions inside
+        // those files are excluded positionally in check.rs.
+        RuleId::D5 => in_det_src(path),
+        RuleId::D6 => D6_FILES.contains(&path),
+        RuleId::A0 | RuleId::A1 => true,
+    }
+}
+
+/// Whether violations of `rule` are exempt inside `#[cfg(test)]` regions.
+///
+/// Only D5 (unwrap hygiene) and D6 (public-API docs) are test-exempt:
+/// ambient entropy, wall-clock, unordered maps, and unsafe would break
+/// deterministic replay of the test suite itself.
+pub fn test_exempt(rule: RuleId) -> bool {
+    matches!(rule, RuleId::D5 | RuleId::D6)
+}

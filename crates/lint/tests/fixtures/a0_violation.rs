@@ -1,0 +1,8 @@
+// Fixture: malformed allows, each a distinct A0 case.
+fn f() -> u64 {
+    // ddelint::allow(nonsense-rule, "unknown rule id")
+    // ddelint::allow(unwrap)
+    // ddelint::allow(wallclock, "")
+    // ddelint::allow(unused-allow, "meta rules cannot be escaped")
+    7
+}

@@ -1,0 +1,5 @@
+// Fixture: a stale allow that suppresses nothing.
+fn f() -> u64 {
+    // ddelint::allow(ambient-rng, "nothing on the next line draws entropy")
+    7
+}

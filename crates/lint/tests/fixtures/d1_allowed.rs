@@ -1,0 +1,6 @@
+// Fixture: D1 with a well-formed site allow.
+fn roll() -> u64 {
+    // ddelint::allow(ambient-rng, "fixture: demonstrates the escape grammar")
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,13 @@
+// Fixture: D1 true positive — ambient entropy in a deterministic crate.
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+fn reseed() -> StdRng {
+    StdRng::from_entropy()
+}
+
+fn coin() -> bool {
+    rand::random()
+}

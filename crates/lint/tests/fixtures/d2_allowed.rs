@@ -1,0 +1,4 @@
+// Fixture: D2 with a trailing site allow.
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now() // ddelint::allow(wallclock, "timing-only, never feeds results")
+}

@@ -1,0 +1,9 @@
+// Fixture: D2 true positive — wall-clock read in a deterministic path.
+fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn epoch() -> u64 {
+    let t = std::time::SystemTime::now();
+    0
+}

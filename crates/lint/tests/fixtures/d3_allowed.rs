@@ -1,0 +1,9 @@
+// Fixture: D3 with a site allow on the use declaration and the sites.
+// ddelint::allow(unordered-map, "fixture: scratch tally, drained via sorted keys before any iteration")
+use std::collections::HashSet;
+
+fn dedup(keys: &[u64]) -> usize {
+    // ddelint::allow(unordered-map, "fixture: only len() is read, no iteration")
+    let s: HashSet<u64> = keys.iter().copied().collect();
+    s.len()
+}

@@ -1,0 +1,10 @@
+// Fixture: D3 true positive — unordered map in a deterministic crate.
+use std::collections::HashMap;
+
+fn tally(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,5 @@
+// Fixture: D4 with a reasoned allow.
+fn read_len(v: &[u8]) -> usize {
+    // ddelint::allow(unsafe, "fixture: no-op unsafe block kept to exercise the rule")
+    unsafe { v.len() }
+}

@@ -1,0 +1,4 @@
+// Fixture: D4 true positive — unsafe without an allow.
+fn transmute_len(v: &[u8]) -> usize {
+    unsafe { v.len() }
+}

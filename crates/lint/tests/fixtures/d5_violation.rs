@@ -1,0 +1,17 @@
+// Fixture: D5 true positives — bare unwrap and empty expect outside tests.
+fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+fn parse(s: &str) -> u64 {
+    s.parse().expect("")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

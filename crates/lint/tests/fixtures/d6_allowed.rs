@@ -1,0 +1,14 @@
+//! Fixture: D6 satisfied two ways — a contract line, and a reasoned allow.
+
+/// Inserts one sample.
+///
+/// Determinism: pure function of `self` and `x`; iteration order is the
+/// sorted tuple order, never hash order.
+pub fn insert(x: f64) {
+    let _ = x;
+}
+
+// ddelint::allow(doc-determinism, "fixture: trait-impl glue, contract documented on the trait")
+pub fn glue(q: f64) -> f64 {
+    q
+}

@@ -1,0 +1,10 @@
+//! Fixture: D6 true positives — estimator-module pub fns without contracts.
+
+/// Adds one sample. Docs present, but no contract line.
+pub fn insert(x: f64) {
+    let _ = x;
+}
+
+pub fn undocumented(q: f64) -> f64 {
+    q
+}

@@ -1,0 +1,45 @@
+//! The red/green demo from the acceptance criteria: the real
+//! `crates/stats/src/ecdf.rs` lints clean today (green); the same file with a
+//! deliberately planted `thread_rng()` is caught by D1 at the planted line
+//! (red). This pins the linter to the actual tree, not just to fixtures.
+
+use lint::check_source;
+use lint::rules::RuleId;
+
+const ECDF_PATH: &str = "crates/stats/src/ecdf.rs";
+
+fn real_ecdf() -> String {
+    let on_disk = concat!(env!("CARGO_MANIFEST_DIR"), "/../../crates/stats/src/ecdf.rs");
+    std::fs::read_to_string(on_disk).expect("ecdf.rs exists in the workspace")
+}
+
+#[test]
+fn green_the_real_ecdf_lints_clean() {
+    let v = check_source(ECDF_PATH, &real_ecdf());
+    assert!(v.is_empty(), "ecdf.rs must be clean, got: {v:?}");
+}
+
+#[test]
+fn red_a_planted_thread_rng_is_caught_by_d1() {
+    let mut src = real_ecdf();
+    let planted = "\nfn sneak_entropy() -> f64 {\n    let mut rng = rand::thread_rng();\n    rng.gen::<f64>()\n}\n";
+    src.push_str(planted);
+    let v = check_source(ECDF_PATH, &src);
+    assert_eq!(v.len(), 1, "exactly the planted site must fire: {v:?}");
+    assert_eq!(v[0].rule, RuleId::D1);
+    // The planted call sits 3 lines from the end of the appended block; check
+    // the reported line matches the actual text at that position.
+    let line_text = src.lines().nth(v[0].line - 1).expect("reported line exists");
+    assert!(line_text.contains("rand::thread_rng()"), "line {}: {line_text}", v[0].line);
+    assert_eq!(v[0].col, line_text.find("thread_rng").expect("needle on line") + 1);
+}
+
+#[test]
+fn red_goes_green_again_with_a_site_allow() {
+    let mut src = real_ecdf();
+    src.push_str(
+        "\nfn sneak_entropy() -> f64 {\n    // ddelint::allow(ambient-rng, \"demo: red/green test round-trip\")\n    let mut rng = rand::thread_rng();\n    rng.gen::<f64>()\n}\n",
+    );
+    let v = check_source(ECDF_PATH, &src);
+    assert!(v.is_empty(), "allow must restore green: {v:?}");
+}

@@ -1,0 +1,17 @@
+//! Tier-0 as a tier-1 test: the whole workspace must lint clean, so a rule
+//! violation introduced by any future PR fails `cargo test` as well as the CI
+//! `ddelint check` step.
+
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .canonicalize()
+        .expect("workspace root resolves");
+    let violations = lint::check_tree(&root).expect("tree walk succeeds");
+    assert!(
+        violations.is_empty(),
+        "ddelint found {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

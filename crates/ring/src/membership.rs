@@ -55,7 +55,10 @@ impl Network {
         }
         // Find the successor of the new id.
         let succ_id = self.lookup(bootstrap, new_id)?.owner;
-        let succ = self.nodes.get(&succ_id).expect("owner alive");
+        let succ = self
+            .nodes
+            .get(&succ_id)
+            .expect("invariant: lookup returned this owner, so it is in the alive map");
         let old_pred = succ.predecessor;
         // Seed routing state from the successor (1 state-transfer message).
         let seeded_fingers = succ.fingers.clone();
@@ -72,7 +75,10 @@ impl Network {
         // Take over data: items whose ring position falls in (old_pred, new_id].
         let pred_for_arc = old_pred.unwrap_or(succ_id);
         let placement = self.placement;
-        let succ_node = self.nodes.get_mut(&succ_id).expect("owner alive");
+        let succ_node = self
+            .nodes
+            .get_mut(&succ_id)
+            .expect("invariant: lookup returned this owner, so it is in the alive map");
         let moved = succ_node.store.drain_by(|x| placement.place(x).in_arc(pred_for_arc, new_id));
         succ_node.predecessor = Some(new_id);
         self.stats.record(MessageKind::Handoff, 8 * moved.len());
@@ -105,14 +111,18 @@ impl Network {
             }
             self.observe_timeout(MessageKind::LookupTimeout);
         }
-        let node = self.nodes.get_mut(&id).expect("checked alive");
+        let node =
+            self.nodes.get_mut(&id).expect("invariant: presence was checked at the top of this fn");
         let data = node.store.drain_all();
         self.nodes.remove(&id);
         self.finger_cursor.remove(&id);
 
         if let Some(h) = heir {
             self.stats.record(MessageKind::Handoff, 8 * data.len());
-            let hn = self.nodes.get_mut(&h).expect("heir alive");
+            let hn = self
+                .nodes
+                .get_mut(&h)
+                .expect("invariant: heir was selected from the alive set above");
             hn.store.extend_values(data);
             // The heir now holds the data as primary; a replica of the
             // leaver would later be promoted on top of it (duplicates).
@@ -185,8 +195,14 @@ impl Network {
                 // Either way continue the full round below — an isolated node
                 // must still drop its dead predecessor and run notify, or it
                 // freezes the whole neighborhood in a broken fixed point.
-                self.nodes.get_mut(&id).expect("alive").successors = succs.clone();
-                let node = self.nodes.get(&id).expect("alive");
+                self.nodes
+                    .get_mut(&id)
+                    .expect("invariant: id was taken from the alive map in this same pass")
+                    .successors = succs.clone();
+                let node = self
+                    .nodes
+                    .get(&id)
+                    .expect("invariant: id was taken from the alive map in this same pass");
                 let fallback = node
                     .fingers
                     .iter()
@@ -196,7 +212,10 @@ impl Network {
                     .find(|&f| f != id && self.is_alive(f));
                 match fallback {
                     Some(f) => {
-                        self.nodes.get_mut(&id).expect("alive").offer_successor(f);
+                        self.nodes
+                            .get_mut(&id)
+                            .expect("invariant: id was taken from the alive map in this same pass")
+                            .offer_successor(f);
                         self.stats.record(MessageKind::Stabilize, 8);
                         corrections += 1;
                         f
@@ -215,7 +234,11 @@ impl Network {
         // 2. stabilize: adopt successor's predecessor if it sits between us.
         self.stats.record(MessageKind::Stabilize, 8);
         self.stats.record(MessageKind::Stabilize, 8);
-        let sp = self.nodes.get(&succ).expect("alive").predecessor;
+        let sp = self
+            .nodes
+            .get(&succ)
+            .expect("invariant: id was taken from the alive map in this same pass")
+            .predecessor;
         if let Some(x) = sp {
             if x != id && x.in_open_arc(id, succ) && self.is_alive(x) {
                 succ = x;
@@ -224,10 +247,18 @@ impl Network {
         }
 
         // 3. Refresh the successor list from the (possibly new) successor.
-        let succ_list = self.nodes.get(&succ).expect("alive").successors.clone();
+        let succ_list = self
+            .nodes
+            .get(&succ)
+            .expect("invariant: id was taken from the alive map in this same pass")
+            .successors
+            .clone();
         self.stats.record(MessageKind::Stabilize, 8 * (1 + succ_list.len()));
         {
-            let node = self.nodes.get_mut(&id).expect("alive");
+            let node = self
+                .nodes
+                .get_mut(&id)
+                .expect("invariant: id was taken from the alive map in this same pass");
             let before = node.successors.clone();
             node.successors = succs;
             node.offer_successor(succ);
@@ -242,11 +273,17 @@ impl Network {
         }
         // Re-drop anything dead that the transferred list brought in.
         {
-            let node = self.nodes.get(&id).expect("alive");
+            let node = self
+                .nodes
+                .get(&id)
+                .expect("invariant: id was taken from the alive map in this same pass");
             let dead: Vec<RingId> =
                 node.successors.iter().copied().filter(|&s| !self.is_alive(s)).collect();
             if !dead.is_empty() {
-                let node = self.nodes.get_mut(&id).expect("alive");
+                let node = self
+                    .nodes
+                    .get_mut(&id)
+                    .expect("invariant: id was taken from the alive map in this same pass");
                 for d in dead {
                     node.forget(d);
                     corrections += 1;
@@ -276,7 +313,10 @@ impl Network {
             self.stats.record(MessageKind::Stabilize, 8);
             if let Ok(res) = self.lookup(helper, id.finger_start(0)) {
                 if res.owner != id {
-                    let node = self.nodes.get_mut(&id).expect("alive");
+                    let node = self
+                        .nodes
+                        .get_mut(&id)
+                        .expect("invariant: id was taken from the alive map in this same pass");
                     let before = node.successor();
                     node.offer_successor(res.owner);
                     if node.successor() != before {
@@ -287,7 +327,11 @@ impl Network {
         }
 
         // 4. notify: tell the successor about us.
-        let succ_now = self.nodes.get(&id).expect("alive").successor();
+        let succ_now = self
+            .nodes
+            .get(&id)
+            .expect("invariant: id was taken from the alive map in this same pass")
+            .successor();
         if let Some(s) = succ_now {
             if let Some(sn) = self.nodes.get_mut(&s) {
                 let before = sn.predecessor;
@@ -323,7 +367,10 @@ impl Network {
             let start = id.finger_start(cursor);
             match self.lookup(id, start) {
                 Ok(res) => {
-                    let node = self.nodes.get_mut(&id).expect("alive");
+                    let node = self
+                        .nodes
+                        .get_mut(&id)
+                        .expect("invariant: id was taken from the alive map in this same pass");
                     let slot = &mut node.fingers[cursor as usize];
                     if *slot != Some(res.owner) {
                         *slot = Some(res.owner);
@@ -331,7 +378,10 @@ impl Network {
                     }
                 }
                 Err(_) => {
-                    let node = self.nodes.get_mut(&id).expect("alive");
+                    let node = self
+                        .nodes
+                        .get_mut(&id)
+                        .expect("invariant: id was taken from the alive map in this same pass");
                     node.fingers[cursor as usize] = None;
                 }
             }
@@ -346,7 +396,10 @@ impl Network {
         if let Some(p) = node.predecessor {
             if !self.is_alive(p) {
                 self.observe_timeout(MessageKind::LookupTimeout);
-                self.nodes.get_mut(&id).expect("alive").predecessor = None;
+                self.nodes
+                    .get_mut(&id)
+                    .expect("invariant: id was taken from the alive map in this same pass")
+                    .predecessor = None;
                 return 1;
             }
         }
@@ -365,7 +418,10 @@ impl Network {
         }
         let placement = self.placement;
         let misplaced = {
-            let node = self.nodes.get_mut(&id).expect("alive");
+            let node = self
+                .nodes
+                .get_mut(&id)
+                .expect("invariant: id was taken from the alive map in this same pass");
             node.store.drain_by(|x| !placement.place(x).in_arc(pred, id))
         };
         if misplaced.is_empty() {
@@ -380,7 +436,10 @@ impl Network {
             let pos = placement.place(first);
             match self.lookup(id, pos) {
                 Ok(res) if res.owner != id => {
-                    let owner = self.nodes.get(&res.owner).expect("alive");
+                    let owner = self
+                        .nodes
+                        .get(&res.owner)
+                        .expect("invariant: id was taken from the alive map in this same pass");
                     let (olo, ohi) = (owner.predecessor.unwrap_or(res.owner), res.owner);
                     let mut batch = Vec::new();
                     remaining.retain(|&x| {
@@ -399,7 +458,11 @@ impl Network {
                     }
                     self.stats.record(MessageKind::Handoff, 8 * batch.len());
                     moved += batch.len();
-                    self.nodes.get_mut(&res.owner).expect("alive").store.extend_values(batch);
+                    self.nodes
+                        .get_mut(&res.owner)
+                        .expect("invariant: id was taken from the alive map in this same pass")
+                        .store
+                        .extend_values(batch);
                 }
                 _ => {
                     // Either we still own it per routing, or routing failed:
@@ -409,7 +472,11 @@ impl Network {
             }
         }
         if !keep.is_empty() {
-            self.nodes.get_mut(&id).expect("alive").store.extend_values(keep);
+            self.nodes
+                .get_mut(&id)
+                .expect("invariant: id was taken from the alive map in this same pass")
+                .store
+                .extend_values(keep);
         }
         moved
     }

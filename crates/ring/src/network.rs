@@ -347,7 +347,7 @@ impl Network {
     pub fn global_values(&self) -> Vec<f64> {
         let mut all: Vec<f64> =
             self.nodes.values().flat_map(|n| n.store.values().iter().copied()).collect();
-        all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stores"));
+        all.sort_by(f64::total_cmp);
         all
     }
 

@@ -91,7 +91,7 @@ impl Network {
                     }
                     cur = next;
                 }
-                items.sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+                items.sort_by(f64::total_cmp);
                 Ok(RangeQueryResult { items, peers_visited: visited, routing_hops: first.hops })
             }
             None => {
@@ -125,7 +125,7 @@ impl Network {
                     }
                     cur = next;
                 }
-                items.sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+                items.sort_by(f64::total_cmp);
                 Ok(RangeQueryResult { items, peers_visited: visited, routing_hops: 0 })
             }
         }

@@ -22,7 +22,7 @@ impl LocalStore {
 
     /// Builds from unsorted values.
     pub fn from_values(mut values: Vec<f64>) -> Self {
-        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in store"));
+        values.sort_by(f64::total_cmp);
         Self { sorted: values }
     }
 
@@ -47,7 +47,7 @@ impl LocalStore {
     /// Adds many values at once, re-sorting once (`O((n+m) log (n+m))`).
     pub fn extend_values(&mut self, values: impl IntoIterator<Item = f64>) {
         self.sorted.extend(values);
-        self.sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in store"));
+        self.sorted.sort_by(f64::total_cmp);
     }
 
     /// Number of items `<= x` (exact).

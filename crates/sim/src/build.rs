@@ -58,7 +58,7 @@ pub fn build(scenario: &Scenario) -> BuiltScenario {
                 }
             };
             let mut sorted = data.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN from distributions"));
+            sorted.sort_by(f64::total_cmp);
             (1..=scenario.peers)
                 .map(|i| {
                     let q = sorted[(i * scenario.items / scenario.peers).min(scenario.items - 1)];

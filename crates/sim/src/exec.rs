@@ -32,7 +32,7 @@ static CELL_NANOS: AtomicU64 = AtomicU64::new(0);
 /// or the machine's available parallelism when unset (or set to 0).
 pub fn jobs() -> usize {
     match JOBS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         n => n,
     }
 }
@@ -123,6 +123,7 @@ impl<'a, T: Send> ExecPlan<'a, T> {
                 .cells
                 .into_iter()
                 .map(|cell| {
+                    // ddelint::allow(wallclock, "timing-only: elapsed feeds CellResult.elapsed and the stderr progress line, never an experiment value")
                     let start = Instant::now();
                     let value = cell();
                     finish(CellResult { value, elapsed: start.elapsed() })
@@ -137,19 +138,31 @@ impl<'a, T: Send> ExecPlan<'a, T> {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
                     // Steal the next unclaimed cell; exit when the queue runs dry.
-                    let Some((index, cell)) = queue.lock().unwrap().pop_front() else {
+                    let Some((index, cell)) = queue
+                        .lock()
+                        .expect("invariant: cells never panic, so the queue lock is never poisoned")
+                        .pop_front()
+                    else {
                         break;
                     };
+                    // ddelint::allow(wallclock, "timing-only: elapsed feeds CellResult.elapsed and the stderr progress line, never an experiment value")
                     let start = Instant::now();
                     let value = cell();
                     let result = finish(CellResult { value, elapsed: start.elapsed() });
-                    *slots[index].lock().unwrap() = Some(result);
+                    *slots[index]
+                        .lock()
+                        .expect("invariant: result slots are poisoned only if a cell panicked") =
+                        Some(result);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("every queued cell executes"))
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("invariant: scope joined all workers, so no lock is held or poisoned")
+                    .expect("every queued cell executes")
+            })
             .collect()
     }
 }

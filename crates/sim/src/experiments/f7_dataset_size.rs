@@ -48,7 +48,7 @@ pub fn f7_dataset_size(scale: Scale) -> Vec<Table> {
             f(a.ks_mean),
             f(a.ks_data_mean),
             f(a.messages_mean),
-            a.count_error_mean.map(f).unwrap_or_else(|| "-".into()),
+            a.count_error_mean.map_or_else(|| "-".into(), f),
         ]);
     }
     vec![t]

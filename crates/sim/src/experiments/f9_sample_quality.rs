@@ -33,6 +33,7 @@ pub fn sample_sweep(scale: Scale) -> Vec<usize> {
 
 /// Builds figure F9's series.
 pub fn f9_sample_quality(scale: Scale) -> Vec<Table> {
+    type RunScores = (f64, Option<f64>, f64, f64);
     let scenario = default_scenario(scale);
     let k = default_probes(scale);
     let mut t = Table::new(
@@ -78,7 +79,6 @@ pub fn f9_sample_quality(scale: Scale) -> Vec<Table> {
         }
     }
     let results = plan.run();
-    type RunScores = (f64, Option<f64>, f64, f64);
     for (i, m) in sweep.iter().enumerate() {
         let runs = &results[i * repeats..(i + 1) * repeats];
         let mean = |g: &dyn Fn(&RunScores) -> f64| {

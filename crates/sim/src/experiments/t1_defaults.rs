@@ -63,7 +63,7 @@ pub fn t1_default_parameters(scale: Scale) -> Vec<Table> {
             f(a.messages_mean),
             f(a.bytes_mean / 1024.0),
             f(a.hops_mean),
-            a.count_error_mean.map(f).unwrap_or_else(|| "-".into()),
+            a.count_error_mean.map_or_else(|| "-".into(), f),
         ]);
     }
     vec![params, health]

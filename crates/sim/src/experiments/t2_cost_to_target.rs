@@ -75,7 +75,7 @@ pub fn t2_messages_to_target_accuracy(scale: Scale) -> Vec<Table> {
 
     // One cell per method: each budget-doubling search is sequential inside,
     // but the five methods run concurrently. Each cell renders its own row.
-    let mut plan: ExecPlan<Vec<String>> = ExecPlan::new();
+    let mut plan: ExecPlan<'_, Vec<String>> = ExecPlan::new();
     let s = &scenario;
     let repeats = scale.repeats();
     plan.push(move || {

@@ -13,8 +13,8 @@ use dde_sim::experiments::{run_by_id, Scale};
 use dde_sim::report::Table;
 
 fn render(tables: &[Table]) -> (String, String) {
-    let text: String = tables.iter().map(|t| t.to_text()).collect::<Vec<_>>().join("\n");
-    let csv: String = tables.iter().map(|t| t.to_csv()).collect::<Vec<_>>().join("\n");
+    let text: String = tables.iter().map(dde_sim::Table::to_text).collect::<Vec<_>>().join("\n");
+    let csv: String = tables.iter().map(dde_sim::Table::to_csv).collect::<Vec<_>>().join("\n");
     (text, csv)
 }
 

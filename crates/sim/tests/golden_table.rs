@@ -36,7 +36,7 @@ fn check(name: &str, rendered: &str) {
         return;
     }
     let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with GOLDEN_UPDATE=1", name));
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run with GOLDEN_UPDATE=1"));
     assert_eq!(
         rendered, expected,
         "{name} drifted from its fixture; if intentional, regenerate with GOLDEN_UPDATE=1"

@@ -177,12 +177,6 @@ pub fn erf(x: f64) -> f64 {
 /// near machine precision over `(0, 1)`.
 #[allow(clippy::excessive_precision)]
 pub fn inv_norm_cdf(u: f64) -> f64 {
-    if u <= 0.0 {
-        return f64::NEG_INFINITY;
-    }
-    if u >= 1.0 {
-        return f64::INFINITY;
-    }
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
@@ -214,6 +208,12 @@ pub fn inv_norm_cdf(u: f64) -> f64 {
     ];
     const U_LOW: f64 = 0.02425;
 
+    if u <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if u >= 1.0 {
+        return f64::INFINITY;
+    }
     let x = if u < U_LOW {
         let q = (-2.0 * u.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])

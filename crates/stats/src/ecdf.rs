@@ -16,14 +16,18 @@ impl Ecdf {
     ///
     /// # Panics
     /// Panics if `samples` is empty or contains NaN.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(mut samples: Vec<f64>) -> Self {
         assert!(!samples.is_empty(), "ECDF of an empty sample");
         assert!(samples.iter().all(|x| !x.is_nan()), "ECDF sample contains NaN");
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 
     /// Builds from data already sorted ascending (checked in debug builds).
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_sorted(sorted: Vec<f64>) -> Self {
         assert!(!sorted.is_empty(), "ECDF of an empty sample");
         debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
@@ -31,21 +35,29 @@ impl Ecdf {
     }
 
     /// Number of samples.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn len(&self) -> usize {
         self.sorted.len()
     }
 
     /// Whether the ECDF is empty (never true post-construction).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn is_empty(&self) -> bool {
         self.sorted.len() == 0
     }
 
     /// Number of samples `<= x`.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn rank(&self, x: f64) -> usize {
         self.sorted.partition_point(|&v| v <= x)
     }
 
     /// The `q`-quantile (type-1 / inverse-CDF convention), `q ∈ [0, 1]`.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn quantile(&self, q: f64) -> f64 {
         let q = q.clamp(0.0, 1.0);
         let n = self.sorted.len();
@@ -54,6 +66,8 @@ impl Ecdf {
     }
 
     /// The underlying sorted samples.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn samples(&self) -> &[f64] {
         &self.sorted
     }
@@ -61,6 +75,8 @@ impl Ecdf {
     /// Kolmogorov–Smirnov distance to a reference CDF, computed exactly by
     /// evaluating the supremum at the sample jump points (where it is always
     /// attained for a continuous reference).
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn ks_distance_to<C: CdfFn + ?Sized>(&self, reference: &C) -> f64 {
         let n = self.sorted.len() as f64;
         let mut d: f64 = 0.0;

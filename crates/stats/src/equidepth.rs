@@ -25,6 +25,8 @@ pub struct EquiDepthSummary {
 
 impl EquiDepthSummary {
     /// A summary of an empty dataset.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn empty() -> Self {
         Self { boundaries: Vec::new(), counts: Vec::new() }
     }
@@ -34,6 +36,8 @@ impl EquiDepthSummary {
     ///
     /// # Panics
     /// Panics if `buckets == 0` or the input is not sorted (debug builds).
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_sorted(sorted: &[f64], buckets: usize) -> Self {
         assert!(buckets > 0, "need at least one bucket");
         debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
@@ -65,6 +69,8 @@ impl EquiDepthSummary {
     /// # Panics
     /// Panics if fewer than two boundaries are given (unless `total == 0`)
     /// or boundaries are not sorted.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_quantiles(boundaries: &[f64], total: u64) -> Self {
         if total == 0 {
             return Self::empty();
@@ -79,11 +85,15 @@ impl EquiDepthSummary {
     }
 
     /// Total number of items summarized.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
 
     /// Number of buckets.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn buckets(&self) -> usize {
         self.counts.len()
     }
@@ -91,11 +101,15 @@ impl EquiDepthSummary {
     /// The bucket boundary values (empty for an empty summary). These are
     /// natural support points when assembling many summaries into a global
     /// CDF: `count_le` is exact there.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn boundaries(&self) -> &[f64] {
         &self.boundaries
     }
 
     /// `(min, max)` of the summarized data, or `None` if empty.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bounds(&self) -> Option<(f64, f64)> {
         if self.boundaries.is_empty() {
             None
@@ -109,6 +123,8 @@ impl EquiDepthSummary {
     /// Exact at bucket boundaries; linear interpolation inside a bucket.
     /// Zero-width buckets (runs of duplicates) are counted fully once `x`
     /// reaches their value.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn count_le(&self, x: f64) -> f64 {
         if self.boundaries.is_empty() {
             return 0.0;
@@ -135,6 +151,8 @@ impl EquiDepthSummary {
 
     /// Approximate `q`-quantile (`q ∈ [0, 1]`) by inverse interpolation, or
     /// `None` if the summary is empty.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.boundaries.is_empty() || self.total() == 0 {
             return None;
@@ -157,6 +175,8 @@ impl EquiDepthSummary {
 
     /// Converts to a piecewise-linear CDF (probability scale), or `None` if
     /// empty.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn to_piecewise_cdf(&self) -> Option<PiecewiseCdf> {
         if self.boundaries.is_empty() || self.total() == 0 {
             return None;
@@ -175,6 +195,8 @@ impl EquiDepthSummary {
     /// The serialized size of this summary on the wire, in bytes, as
     /// accounted by the network simulator (8 bytes per boundary + 8 per
     /// count).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn wire_size(&self) -> usize {
         8 * self.boundaries.len() + 8 * self.counts.len()
     }

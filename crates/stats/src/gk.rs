@@ -30,27 +30,37 @@ impl GkSketch {
     ///
     /// # Panics
     /// Panics if `epsilon` is not in `(0, 0.5)`.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 0.5, "epsilon {epsilon} out of (0, 0.5)");
         Self { epsilon, tuples: Vec::new(), count: 0, inserts_since_compress: 0 }
     }
 
     /// Number of items inserted.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn count(&self) -> u64 {
         self.count
     }
 
     /// Number of tuples currently stored (the space cost).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn size(&self) -> usize {
         self.tuples.len()
     }
 
     /// The error bound.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
     }
 
     /// Inserts one value.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn insert(&mut self, v: f64) {
         debug_assert!(!v.is_nan(), "NaN inserted into GK sketch");
         self.count += 1;
@@ -94,6 +104,8 @@ impl GkSketch {
 
     /// The `q`-quantile (`q ∈ [0, 1]`) within rank error `ε·n`, or `None` if
     /// the sketch is empty.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.tuples.is_empty() {
             return None;
@@ -121,6 +133,8 @@ impl GkSketch {
     /// `(ε₁ + ε₂)·(n₁ + n₂)` — with equal ε on both sides, `2ε·n` — while
     /// `epsilon()` keeps reporting the larger input ε (callers merging many
     /// sketches should budget the doubled bound).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn merge(&mut self, other: &GkSketch) {
         if other.count == 0 {
             return;
@@ -151,6 +165,8 @@ impl GkSketch {
 
     /// Builds an equi-depth summary with `buckets` buckets from the sketch's
     /// quantiles — the bridge from streaming peers to probe replies.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn to_equidepth(&self, buckets: usize) -> EquiDepthSummary {
         if self.count == 0 {
             return EquiDepthSummary::empty();

@@ -22,6 +22,8 @@ impl Histogram {
     ///
     /// # Panics
     /// Panics if `bins == 0` or `lo >= hi`.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad interval [{lo}, {hi}]");
@@ -29,6 +31,8 @@ impl Histogram {
     }
 
     /// Builds a histogram of `samples` with unit weight each.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_samples(lo: f64, hi: f64, bins: usize, samples: &[f64]) -> Self {
         let mut h = Self::new(lo, hi, bins);
         for &x in samples {
@@ -39,6 +43,8 @@ impl Histogram {
 
     /// Builds a histogram whose bin masses are exact under a known CDF —
     /// the ground-truth histogram used in accuracy metrics.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_cdf<C: CdfFn + ?Sized>(cdf: &C, bins: usize) -> Self {
         let (lo, hi) = cdf.domain();
         let mut h = Self::new(lo, hi, bins);
@@ -55,12 +61,16 @@ impl Histogram {
     /// Adds `weight` at value `x`; out-of-domain values are clamped into the
     /// first/last bin (data cannot escape the domain in our simulations, but
     /// floating-point boundaries can graze it).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn add(&mut self, x: f64, weight: f64) {
         let idx = self.bin_of(x);
         self.bins[idx] += weight;
     }
 
     /// The bin index containing `x`, clamped.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bin_of(&self, x: f64) -> usize {
         let n = self.bins.len();
         let raw = ((x - self.lo) / (self.hi - self.lo) * n as f64).floor() as isize;
@@ -68,42 +78,58 @@ impl Histogram {
     }
 
     /// Number of bins.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bins(&self) -> usize {
         self.bins.len()
     }
 
     /// The domain `[lo, hi]`.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bounds(&self) -> (f64, f64) {
         (self.lo, self.hi)
     }
 
     /// Total mass.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn total(&self) -> f64 {
         self.bins.iter().sum()
     }
 
     /// The raw mass of bin `i`.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn mass(&self, i: usize) -> f64 {
         self.bins[i]
     }
 
     /// The bin masses.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn masses(&self) -> &[f64] {
         &self.bins
     }
 
     /// Bin width.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bin_width(&self) -> f64 {
         (self.hi - self.lo) / self.bins.len() as f64
     }
 
     /// The midpoint of bin `i`.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bin_center(&self, i: usize) -> f64 {
         self.lo + (i as f64 + 0.5) * self.bin_width()
     }
 
     /// Probability density at `x` (mass-normalized), 0 if the histogram is
     /// empty or `x` is outside the domain.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn density(&self, x: f64) -> f64 {
         if x < self.lo || x > self.hi {
             return 0.0;
@@ -119,6 +145,8 @@ impl Histogram {
     ///
     /// # Panics
     /// Panics if shapes differ.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
         assert!(
@@ -131,6 +159,8 @@ impl Histogram {
     }
 
     /// Multiplies all masses by `factor` (Push-Sum halving).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn scale(&mut self, factor: f64) {
         for b in &mut self.bins {
             *b *= factor;
@@ -138,6 +168,8 @@ impl Histogram {
     }
 
     /// Returns a normalized copy whose total mass is 1 (no-op if empty).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn normalized(&self) -> Histogram {
         let total = self.total();
         let mut out = self.clone();

@@ -35,11 +35,13 @@ impl Kde {
     /// Panics if `samples` is empty, contains NaN, or the selected bandwidth
     /// degenerates to 0 (all samples identical with a rule-based bandwidth —
     /// use `Bandwidth::Fixed` in that case).
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn fit(mut samples: Vec<f64>, bandwidth: Bandwidth, domain: (f64, f64)) -> Self {
         assert!(!samples.is_empty(), "KDE of an empty sample");
         assert!(samples.iter().all(|x| !x.is_nan()), "KDE sample contains NaN");
         assert!(domain.0 < domain.1, "bad domain [{}, {}]", domain.0, domain.1);
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        samples.sort_by(f64::total_cmp);
         let h = match bandwidth {
             Bandwidth::Fixed(h) => h,
             rule => {
@@ -66,16 +68,22 @@ impl Kde {
     }
 
     /// The selected bandwidth.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
     }
 
     /// Number of samples.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn len(&self) -> usize {
         self.samples.len()
     }
 
     /// Whether the KDE has no samples (never true post-construction).
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
@@ -84,6 +92,8 @@ impl Kde {
     ///
     /// Kernels further than 8 bandwidths away contribute < 1e-15 and are
     /// skipped via a sorted-window cut, making evaluation `O(log n + w)`.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn pdf(&self, x: f64) -> f64 {
         let h = self.bandwidth;
         let lo = x - 8.0 * h;

@@ -23,6 +23,8 @@ impl PiecewiseCdf {
     ///
     /// # Panics
     /// Panics if fewer than two points are given or the invariants fail.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_points(points: Vec<(f64, f64)>) -> Self {
         assert!(points.len() >= 2, "need at least two control points");
         for w in points.windows(2) {
@@ -43,12 +45,16 @@ impl PiecewiseCdf {
     /// This is how the skeleton turns Horvitz–Thompson estimates — which are
     /// unbiased but not individually monotone — into a usable CDF. Returns
     /// `None` if fewer than two distinct `x` values remain.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn from_noisy_points(mut raw: Vec<(f64, f64)>) -> Option<Self> {
         raw.retain(|(x, f)| x.is_finite() && f.is_finite());
         if raw.len() < 2 {
             return None;
         }
-        raw.sort_by(|a, b| a.partial_cmp(b).expect("finite after retain"));
+        // total_cmp: no panic path, and a total order even if the retain
+        // above ever changes — sort order stays deterministic regardless.
+        raw.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
 
         // Merge duplicate x by averaging F.
         let mut merged: Vec<(f64, f64)> = Vec::with_capacity(raw.len());
@@ -95,11 +101,15 @@ impl PiecewiseCdf {
     }
 
     /// The control points.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn points(&self) -> &[(f64, f64)] {
         &self.points
     }
 
     /// Probability density (the slope) at `x`; 0 outside the domain.
+    ///
+    /// Determinism: pure function of `self` and its arguments — no RNG, clock, or ambient state.
     pub fn density(&self, x: f64) -> f64 {
         let (lo, hi) = self.domain();
         if x < lo || x > hi {
@@ -124,6 +134,8 @@ impl PiecewiseCdf {
 
     /// Largest absolute CDF difference to another CDF, evaluated on this
     /// skeleton's control points plus a uniform refinement grid.
+    ///
+    /// Determinism: pure function of its inputs — no RNG, clock, or ambient state.
     pub fn sup_diff<C: CdfFn + ?Sized>(&self, other: &C, grid: usize) -> f64 {
         let (lo, hi) = self.domain();
         let mut d: f64 = 0.0;

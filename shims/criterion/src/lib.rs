@@ -214,7 +214,7 @@ mod tests {
         let mut g = c.benchmark_group("shim/group");
         g.sample_size(3);
         g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
-            b.iter(|| black_box(n * n))
+            b.iter(|| black_box(n * n));
         });
         g.bench_function("plain", |b| b.iter(|| black_box(1u8)));
         g.finish();

@@ -75,12 +75,12 @@ fn no_retries_degrades_gracefully() {
 #[test]
 fn same_fault_seed_replays_byte_identical_stats() {
     let run = || {
+        use dde_core::DensityEstimator as _;
         let mut built = faulted_build(0.2);
         let seq = SeedSequence::new(scenario().seed);
         let mut rng = seq.stream(Component::Estimator, 0);
         let initiator = built.net.random_peer(&mut rng).expect("nonempty");
         let est = DfDde::new(DfDdeConfig::with_probes(K));
-        use dde_core::DensityEstimator as _;
         let report = est.estimate(&mut built.net, initiator, &mut rng).expect("estimates");
         (format!("{:?}", built.net.stats()), report.messages(), report.probes_succeeded)
     };
