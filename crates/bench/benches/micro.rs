@@ -46,6 +46,31 @@ fn probe(c: &mut Criterion) {
     });
 }
 
+fn global_values(c: &mut Criterion) {
+    let mut net = ring_net(512, 11);
+    let dist = Truncated::new(Normal::new(500.0, 120.0), 0.0, 1000.0);
+    let mut data_rng = SeedSequence::new(11).stream(Component::Dataset, 0);
+    let data: Vec<f64> = (0..100_000).map(|_| dist.sample(&mut data_rng)).collect();
+    net.bulk_load(&data);
+    let mut rng = SeedSequence::new(12).stream(Component::Workload, 0);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+    let mut g = c.benchmark_group("micro/global_values");
+    // Steady state: the epoch cache absorbs every call after the first.
+    let _ = net.global_values();
+    g.bench_function("cached", |b| b.iter(|| net.global_values_arc().len()));
+    // Every iteration mutates the data, so every call re-collects and
+    // re-sorts the 100k values — the cost the cache removes.
+    g.bench_function("invalidated", |b| {
+        b.iter(|| {
+            net.insert(from, black_box(123.456)).expect("routes");
+            let n = net.global_values_arc().len();
+            net.delete(from, 123.456).expect("routes");
+            n
+        });
+    });
+    g.finish();
+}
+
 fn store_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/store");
     let store = LocalStore::from_values((0..10_000).map(|i| (i % 997) as f64).collect());
@@ -132,6 +157,7 @@ criterion_group!(
     micro,
     lookup,
     probe,
+    global_values,
     range_query,
     store_ops,
     equidepth_query,

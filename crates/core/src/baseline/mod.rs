@@ -99,7 +99,7 @@ mod tests {
 
     fn reply(peer: u64, values: Vec<f64>) -> ProbeReply {
         let mut v = values;
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         ProbeReply {
             peer: RingId(peer),
             predecessor: Some(RingId(peer.wrapping_sub(1))),

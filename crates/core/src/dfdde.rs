@@ -292,7 +292,7 @@ mod tests {
         let placement = Placement::range(0.0, 100.0);
         let map = *placement.domain_map().unwrap();
         let mut sorted = data.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let mut ids: Vec<RingId> = (1..=peers)
             .map(|i| {
                 let q = sorted[(i * items / peers).min(items - 1)];

@@ -135,7 +135,7 @@ mod tests {
 
     /// Builds a fake reply: peer owning `(pred, peer]` with `values` stored.
     fn reply(peer: u64, pred: u64, mut values: Vec<f64>) -> ProbeReply {
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         ProbeReply {
             peer: RingId(peer),
             predecessor: Some(RingId(pred)),

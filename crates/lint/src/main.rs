@@ -46,6 +46,7 @@ fn main() -> ExitCode {
                 RuleId::D4,
                 RuleId::D5,
                 RuleId::D6,
+                RuleId::D7,
                 RuleId::A0,
                 RuleId::A1,
             ];

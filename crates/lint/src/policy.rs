@@ -31,6 +31,19 @@ pub const D6_FILES: &[&str] = &[
     "crates/stats/src/histogram.rs",
 ];
 
+/// Ring hot-path modules where cloning a successor list or a store's sorted
+/// vec re-introduces the per-hop heap traffic the hot-path overhaul removed
+/// (rule D7). Snapshot to the stack or share via `Arc` instead; genuinely
+/// cold sites escape with a reasoned `ddelint::allow(hot-clone, ...)`.
+pub const D7_FILES: &[&str] = &[
+    "crates/ring/src/network.rs",
+    "crates/ring/src/node.rs",
+    "crates/ring/src/store.rs",
+    "crates/ring/src/membership.rs",
+    "crates/ring/src/query.rs",
+    "crates/ring/src/replication.rs",
+];
+
 /// Whether the walker should descend into / lint this path at all.
 ///
 /// Fixtures are deliberate rule violations (the lint test corpus), `target`
@@ -82,15 +95,17 @@ pub fn applies(rule: RuleId, path: &str) -> bool {
         // those files are excluded positionally in check.rs.
         RuleId::D5 => in_det_src(path),
         RuleId::D6 => D6_FILES.contains(&path),
+        RuleId::D7 => D7_FILES.contains(&path),
         RuleId::A0 | RuleId::A1 => true,
     }
 }
 
 /// Whether violations of `rule` are exempt inside `#[cfg(test)]` regions.
 ///
-/// Only D5 (unwrap hygiene) and D6 (public-API docs) are test-exempt:
-/// ambient entropy, wall-clock, unordered maps, and unsafe would break
-/// deterministic replay of the test suite itself.
+/// D5 (unwrap hygiene), D6 (public-API docs), and D7 (hot-path clones) are
+/// test-exempt — tests may clone freely and stay readable; ambient entropy,
+/// wall-clock, unordered maps, and unsafe would break deterministic replay
+/// of the test suite itself.
 pub fn test_exempt(rule: RuleId) -> bool {
-    matches!(rule, RuleId::D5 | RuleId::D6)
+    matches!(rule, RuleId::D5 | RuleId::D6 | RuleId::D7)
 }

@@ -27,6 +27,10 @@ pub enum RuleId {
     /// Every `pub fn` in the core/stats estimator modules documents its
     /// determinism contract.
     D6,
+    /// No `.clone()` of successor lists or sorted store vecs in the ring
+    /// hot-path modules — the per-hop allocations the perf overhaul removed
+    /// (snapshot to the stack, or share via `Arc`, instead).
+    D7,
     /// Malformed `ddelint::allow` (unknown rule id or missing/empty reason).
     A0,
     /// An allow that suppressed nothing — stale escapes must be removed.
@@ -66,6 +70,7 @@ impl RuleId {
             Self::D4 => "unsafe",
             Self::D5 => "unwrap",
             Self::D6 => "doc-determinism",
+            Self::D7 => "hot-clone",
             Self::A0 => "bad-allow",
             Self::A1 => "unused-allow",
         }
@@ -80,6 +85,7 @@ impl RuleId {
             Self::D4 => "D4",
             Self::D5 => "D5",
             Self::D6 => "D6",
+            Self::D7 => "D7",
             Self::A0 => "A0",
             Self::A1 => "A1",
         }
@@ -94,6 +100,7 @@ impl RuleId {
             Self::D4 => "unsafe code without an allow carrying a reason",
             Self::D5 => "bare unwrap()/expect(\"\") in library-crate non-test code",
             Self::D6 => "pub fn in an estimator module lacking a determinism-contract doc comment",
+            Self::D7 => "successor-list/sorted-store clone on a ring hot path (snapshot or Arc-share instead)",
             Self::A0 => "malformed ddelint::allow (unknown rule or missing/empty reason)",
             Self::A1 => "ddelint::allow that suppressed no violation",
         }
@@ -101,7 +108,17 @@ impl RuleId {
 
     /// Parses either the `Dn` code or the mnemonic name.
     pub fn parse(s: &str) -> Option<Self> {
-        let all = [Self::D1, Self::D2, Self::D3, Self::D4, Self::D5, Self::D6, Self::A0, Self::A1];
+        let all = [
+            Self::D1,
+            Self::D2,
+            Self::D3,
+            Self::D4,
+            Self::D5,
+            Self::D6,
+            Self::D7,
+            Self::A0,
+            Self::A1,
+        ];
         all.into_iter().find(|r| r.code() == s || r.name() == s)
     }
 
@@ -112,8 +129,8 @@ impl RuleId {
     }
 }
 
-/// The needle table for the textual rules D1–D5. D6 has no needles; it is
-/// driven by doc-comment structure in [`crate::check`].
+/// The needle table for the textual rules D1–D5 and D7. D6 has no needles;
+/// it is driven by doc-comment structure in [`crate::check`].
 pub const NEEDLES: &[Needle] = &[
     Needle { rule: RuleId::D1, text: "thread_rng", boundary: Boundary::Ident },
     Needle { rule: RuleId::D1, text: "from_entropy", boundary: Boundary::Ident },
@@ -125,4 +142,6 @@ pub const NEEDLES: &[Needle] = &[
     Needle { rule: RuleId::D4, text: "unsafe", boundary: Boundary::Ident },
     Needle { rule: RuleId::D5, text: ".unwrap()", boundary: Boundary::Exact },
     Needle { rule: RuleId::D5, text: ".expect(\"\")", boundary: Boundary::Exact },
+    Needle { rule: RuleId::D7, text: ".successors.clone()", boundary: Boundary::Exact },
+    Needle { rule: RuleId::D7, text: ".sorted.clone()", boundary: Boundary::Exact },
 ];

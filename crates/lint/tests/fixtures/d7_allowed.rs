@@ -1,0 +1,5 @@
+// Fixture: D7 with a reasoned allow on a genuinely cold path.
+fn debug_dump(node: &Node) -> Vec<RingId> {
+    // ddelint::allow(hot-clone, "fixture: diagnostics-only path, runs once per report")
+    node.successors.clone()
+}

@@ -1,0 +1,17 @@
+// Fixture: D7 true positives — successor-list and sorted-store clones on a
+// ring hot path.
+fn snapshot_successors(node: &Node) -> Vec<RingId> {
+    node.successors.clone()
+}
+
+fn snapshot_store(store: &LocalStore) -> Vec<f64> {
+    store.sorted.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test regions may clone freely (D7 is test-exempt).
+    fn clone_in_test(node: &Node) -> Vec<RingId> {
+        node.successors.clone()
+    }
+}

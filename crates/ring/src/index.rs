@@ -1,0 +1,238 @@
+//! Sorted-vec node index: the network's alive-peer map.
+//!
+//! Replaces a `BTreeMap<RingId, Node>` on the per-hop lookup path with two
+//! parallel vectors kept sorted by id. Point lookups become a single
+//! `partition_point` binary search over a dense `Vec<RingId>` (one cache
+//! line per probe instead of a pointer chase per tree level), ring-order
+//! iteration is a plain slice walk, and positional access (`key_at`) makes
+//! random-peer draws O(1) instead of the `O(n)` `keys().nth(..)` walk a
+//! `BTreeMap` forces.
+//!
+//! Inserts and removes are `O(n)` memmoves — fine here, because membership
+//! changes are orders of magnitude rarer than lookup hops.
+
+use crate::id::RingId;
+use crate::node::Node;
+
+/// Alive peers, keyed by ring id, in ring (ascending id) order.
+#[derive(Debug, Clone, Default)]
+pub struct NodeIndex {
+    keys: Vec<RingId>,
+    nodes: Vec<Node>,
+}
+
+impl NodeIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Position of `id`, if present.
+    #[inline]
+    fn position(&self, id: RingId) -> Result<usize, usize> {
+        let pos = self.keys.partition_point(|&k| k < id);
+        if pos < self.keys.len() && self.keys[pos] == id {
+            Ok(pos)
+        } else {
+            Err(pos)
+        }
+    }
+
+    /// Whether `id` is present.
+    pub fn contains_key(&self, id: &RingId) -> bool {
+        self.position(*id).is_ok()
+    }
+
+    /// The node with `id`, if present.
+    #[inline]
+    pub fn get(&self, id: &RingId) -> Option<&Node> {
+        self.position(*id).ok().map(|i| &self.nodes[i])
+    }
+
+    /// Mutable access to the node with `id`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, id: &RingId) -> Option<&mut Node> {
+        self.position(*id).ok().map(|i| &mut self.nodes[i])
+    }
+
+    /// Inserts `node` under `id`, returning the displaced node if `id` was
+    /// already present.
+    pub fn insert(&mut self, id: RingId, node: Node) -> Option<Node> {
+        match self.position(id) {
+            Ok(i) => Some(std::mem::replace(&mut self.nodes[i], node)),
+            Err(i) => {
+                self.keys.insert(i, id);
+                self.nodes.insert(i, node);
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the node with `id`, if present.
+    pub fn remove(&mut self, id: &RingId) -> Option<Node> {
+        match self.position(*id) {
+            Ok(i) => {
+                self.keys.remove(i);
+                Some(self.nodes.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Peer ids in ring order.
+    pub fn keys(&self) -> std::slice::Iter<'_, RingId> {
+        self.keys.iter()
+    }
+
+    /// Nodes in ring order.
+    pub fn values(&self) -> std::slice::Iter<'_, Node> {
+        self.nodes.iter()
+    }
+
+    /// Mutable nodes in ring order.
+    pub fn values_mut(&mut self) -> std::slice::IterMut<'_, Node> {
+        self.nodes.iter_mut()
+    }
+
+    /// `(id, node)` pairs in ring order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RingId, &Node)> {
+        self.keys.iter().zip(self.nodes.iter())
+    }
+
+    /// The id at ring-order position `idx` (O(1); random-peer draws).
+    pub fn key_at(&self, idx: usize) -> Option<RingId> {
+        self.keys.get(idx).copied()
+    }
+
+    /// Mutable access to the node at ring-order position `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn node_at_mut(&mut self, idx: usize) -> &mut Node {
+        &mut self.nodes[idx]
+    }
+
+    /// Ring-order position of the first peer with id `>= t`, wrapping to 0
+    /// past the top of the ring — the position of `t`'s true owner.
+    ///
+    /// # Panics
+    /// Panics if the index is empty.
+    pub fn owner_position(&self, t: RingId) -> usize {
+        assert!(!self.keys.is_empty(), "owner_position on empty index");
+        let pos = self.keys.partition_point(|&k| k < t);
+        if pos == self.keys.len() {
+            0
+        } else {
+            pos
+        }
+    }
+
+    /// The first peer id strictly greater than `t`, if any (no wrap).
+    pub fn first_after(&self, t: RingId) -> Option<RingId> {
+        let pos = self.keys.partition_point(|&k| k <= t);
+        self.keys.get(pos).copied()
+    }
+
+    /// The smallest peer id, if any.
+    pub fn first(&self) -> Option<RingId> {
+        self.keys.first().copied()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeIndex {
+    type Item = (&'a RingId, &'a Node);
+    type IntoIter = std::iter::Zip<std::slice::Iter<'a, RingId>, std::slice::Iter<'a, Node>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter().zip(self.nodes.iter())
+    }
+}
+
+impl std::ops::Index<&RingId> for NodeIndex {
+    type Output = Node;
+
+    fn index(&self, id: &RingId) -> &Node {
+        self.get(id).expect("no node with this id")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(ids: &[u64]) -> NodeIndex {
+        let mut n = NodeIndex::new();
+        for &i in ids {
+            n.insert(RingId(i), Node::new(RingId(i)));
+        }
+        n
+    }
+
+    #[test]
+    fn insert_keeps_ring_order() {
+        let n = idx(&[50, 10, 90, 30]);
+        let keys: Vec<u64> = n.keys().map(|k| k.0).collect();
+        assert_eq!(keys, vec![10, 30, 50, 90]);
+        assert_eq!(n.len(), 4);
+        assert!(n.contains_key(&RingId(30)));
+        assert!(!n.contains_key(&RingId(31)));
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut n = idx(&[10]);
+        let mut replacement = Node::new(RingId(10));
+        replacement.predecessor = Some(RingId(5));
+        let old = n.insert(RingId(10), replacement).expect("was present");
+        assert_eq!(old.predecessor, None);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[&RingId(10)].predecessor, Some(RingId(5)));
+    }
+
+    #[test]
+    fn remove_returns_node() {
+        let mut n = idx(&[10, 20, 30]);
+        assert!(n.remove(&RingId(15)).is_none());
+        let gone = n.remove(&RingId(20)).expect("present");
+        assert_eq!(gone.id, RingId(20));
+        assert_eq!(n.len(), 2);
+        assert!(!n.contains_key(&RingId(20)));
+    }
+
+    #[test]
+    fn positional_and_successor_queries() {
+        let n = idx(&[10, 20, 30]);
+        assert_eq!(n.key_at(0), Some(RingId(10)));
+        assert_eq!(n.key_at(2), Some(RingId(30)));
+        assert_eq!(n.key_at(3), None);
+        assert_eq!(n.owner_position(RingId(20)), 1); // at-or-after, inclusive
+        assert_eq!(n.owner_position(RingId(21)), 2);
+        assert_eq!(n.owner_position(RingId(31)), 0); // wraps
+        assert_eq!(n.first_after(RingId(20)), Some(RingId(30)));
+        assert_eq!(n.first_after(RingId(30)), None); // strict, no wrap
+        assert_eq!(n.first(), Some(RingId(10)));
+    }
+
+    #[test]
+    fn iteration_yields_pairs_in_order() {
+        let n = idx(&[30, 10, 20]);
+        let pairs: Vec<u64> = (&n)
+            .into_iter()
+            .map(|(&k, node)| {
+                assert_eq!(k, node.id);
+                k.0
+            })
+            .collect();
+        assert_eq!(pairs, vec![10, 20, 30]);
+    }
+}

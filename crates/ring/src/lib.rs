@@ -44,6 +44,7 @@
 pub mod churn;
 pub mod faults;
 pub mod id;
+pub mod index;
 pub mod membership;
 pub mod messages;
 pub mod network;
@@ -56,9 +57,10 @@ pub mod store;
 pub use churn::{ChurnConfig, ChurnProcess};
 pub use faults::{DelayDist, FaultDecision, FaultPlan};
 pub use id::RingId;
+pub use index::NodeIndex;
 pub use messages::{MessageKind, MessageStats};
 pub use network::{LookupError, LookupResult, Network, ProbeReply};
-pub use node::Node;
+pub use node::{Node, RouteBuf};
 pub use placement::{DomainMap, Placement};
 pub use query::RangeQueryResult;
 pub use store::LocalStore;

@@ -53,6 +53,7 @@ impl Network {
         if !self.is_alive(bootstrap) {
             return Err(MembershipError::UnknownPeer);
         }
+        self.bump_epoch();
         // Find the successor of the new id.
         let succ_id = self.lookup(bootstrap, new_id)?.owner;
         let succ = self
@@ -101,12 +102,13 @@ impl Network {
     pub fn leave(&mut self, id: RingId) -> Result<(), MembershipError> {
         let node = self.nodes.get(&id).ok_or(MembershipError::UnknownPeer)?;
         let pred = node.predecessor;
-        let succs = node.successors.clone();
+        let (succs, succ_len) = node.successors_snapshot();
+        self.bump_epoch();
         // First alive successor (the leaving node pings down its list).
         let mut heir = None;
-        for s in &succs {
-            if *s != id && self.is_alive(*s) {
-                heir = Some(*s);
+        for &s in &succs[..succ_len] {
+            if s != id && self.is_alive(s) {
+                heir = Some(s);
                 break;
             }
             self.observe_timeout(MessageKind::LookupTimeout);
@@ -148,6 +150,7 @@ impl Network {
     /// told (neighbors discover via timeouts and stabilization).
     pub fn fail(&mut self, id: RingId) -> Result<(), MembershipError> {
         self.nodes.remove(&id).ok_or(MembershipError::UnknownPeer)?;
+        self.bump_epoch();
         self.finger_cursor.remove(&id);
         Ok(())
     }
@@ -173,11 +176,11 @@ impl Network {
     pub fn stabilize_node(&mut self, id: RingId) -> usize {
         let mut corrections = 0;
         let Some(node) = self.nodes.get(&id) else { return 0 };
-        let mut succs = node.successors.clone();
+        let (snap, snap_len) = node.successors_snapshot();
 
         // 1. Drop dead successors from the front (timeout per dead one).
         let mut alive_succ = None;
-        for &s in &succs {
+        for &s in &snap[..snap_len] {
             if self.is_alive(s) {
                 alive_succ = Some(s);
                 break;
@@ -185,7 +188,8 @@ impl Network {
             self.observe_timeout(MessageKind::LookupTimeout);
             corrections += 1;
         }
-        succs.retain(|&s| self.is_alive(s));
+        let succs: Vec<RingId> =
+            snap[..snap_len].iter().copied().filter(|&s| self.is_alive(s)).collect();
         let mut succ = match alive_succ {
             Some(s) => s,
             None => {
@@ -247,27 +251,26 @@ impl Network {
         }
 
         // 3. Refresh the successor list from the (possibly new) successor.
-        let succ_list = self
+        let (succ_list, succ_list_len) = self
             .nodes
             .get(&succ)
             .expect("invariant: id was taken from the alive map in this same pass")
-            .successors
-            .clone();
-        self.stats.record(MessageKind::Stabilize, 8 * (1 + succ_list.len()));
+            .successors_snapshot();
+        self.stats.record(MessageKind::Stabilize, 8 * (1 + succ_list_len));
         {
             let node = self
                 .nodes
                 .get_mut(&id)
                 .expect("invariant: id was taken from the alive map in this same pass");
-            let before = node.successors.clone();
+            let before = node.successors_snapshot();
             node.successors = succs;
             node.offer_successor(succ);
-            for s in succ_list {
+            for &s in &succ_list[..succ_list_len] {
                 if s != id {
                     node.offer_successor(s);
                 }
             }
-            if node.successors != before {
+            if node.successors_snapshot() != before {
                 corrections += 1;
             }
         }
@@ -427,6 +430,9 @@ impl Network {
         if misplaced.is_empty() {
             return 0;
         }
+        // Items are leaving this store (and may land elsewhere or come back):
+        // the global multiset is in flux either way.
+        self.bump_epoch();
         let mut moved = 0;
         let mut keep = Vec::new();
         let mut remaining: Vec<f64> = misplaced;

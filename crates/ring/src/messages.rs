@@ -10,10 +10,11 @@
 //! * payload bytes cover the variable-size parts (summaries, histograms);
 //!   fixed headers are charged [`HEADER_BYTES`] per message.
 
-use std::collections::BTreeMap;
-
 /// Fixed per-message overhead charged on top of payloads, in bytes.
 pub const HEADER_BYTES: usize = 48;
+
+/// Number of [`MessageKind`] variants (size of the dense counter array).
+const KIND_COUNT: usize = 14;
 
 /// The kinds of messages the overlay exchanges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -48,10 +49,54 @@ pub enum MessageKind {
     FaultSick,
 }
 
+impl MessageKind {
+    /// Every kind, in declaration (= `Ord`) order; `index` is the position
+    /// of each kind in this array.
+    const ALL: [MessageKind; KIND_COUNT] = [
+        MessageKind::LookupHop,
+        MessageKind::LookupTimeout,
+        MessageKind::Probe,
+        MessageKind::ProbeReply,
+        MessageKind::Stabilize,
+        MessageKind::Handoff,
+        MessageKind::Gossip,
+        MessageKind::WalkStep,
+        MessageKind::TupleSample,
+        MessageKind::Replicate,
+        MessageKind::FaultDrop,
+        MessageKind::FaultReplyDrop,
+        MessageKind::FaultCrash,
+        MessageKind::FaultSick,
+    ];
+
+    /// Dense index of this kind (its position in declaration order).
+    const fn index(self) -> usize {
+        match self {
+            MessageKind::LookupHop => 0,
+            MessageKind::LookupTimeout => 1,
+            MessageKind::Probe => 2,
+            MessageKind::ProbeReply => 3,
+            MessageKind::Stabilize => 4,
+            MessageKind::Handoff => 5,
+            MessageKind::Gossip => 6,
+            MessageKind::WalkStep => 7,
+            MessageKind::TupleSample => 8,
+            MessageKind::Replicate => 9,
+            MessageKind::FaultDrop => 10,
+            MessageKind::FaultReplyDrop => 11,
+            MessageKind::FaultCrash => 12,
+            MessageKind::FaultSick => 13,
+        }
+    }
+}
+
 /// Aggregate message/byte/hop counters for one simulation.
+///
+/// Counters are a fixed array indexed by [`MessageKind`] so the per-hop
+/// `record` calls on the lookup path stay allocation-free.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MessageStats {
-    counts: BTreeMap<MessageKind, u64>,
+    counts: [u64; KIND_COUNT],
     bytes: u64,
     /// Total routing hops across all lookups.
     hops: u64,
@@ -70,7 +115,7 @@ impl MessageStats {
 
     /// Records one message of `kind` with `payload` bytes (header added).
     pub fn record(&mut self, kind: MessageKind, payload: usize) {
-        *self.counts.entry(kind).or_insert(0) += 1;
+        self.counts[kind.index()] += 1;
         self.bytes += (HEADER_BYTES + payload) as u64;
     }
 
@@ -100,12 +145,12 @@ impl MessageStats {
 
     /// Total messages of `kind`.
     pub fn count(&self, kind: MessageKind) -> u64 {
-        self.counts.get(&kind).copied().unwrap_or(0)
+        self.counts[kind.index()]
     }
 
     /// Total messages across all kinds.
     pub fn total_messages(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum()
     }
 
     /// Total bytes (payloads + headers).
@@ -138,13 +183,11 @@ impl MessageStats {
     /// Panics in debug builds if `earlier` is not a prefix of `self` (i.e.
     /// counters ran backwards).
     pub fn since(&self, earlier: &MessageStats) -> MessageStats {
-        let mut counts = BTreeMap::new();
-        for (&k, &v) in &self.counts {
-            let e = earlier.count(k);
-            debug_assert!(v >= e, "counter {k:?} ran backwards");
-            if v > e {
-                counts.insert(k, v - e);
-            }
+        let mut counts = [0u64; KIND_COUNT];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            let (v, e) = (self.counts[i], earlier.counts[i]);
+            debug_assert!(v >= e, "counter {:?} ran backwards", MessageKind::ALL[i]);
+            *slot = v - e;
         }
         MessageStats {
             counts,
@@ -155,9 +198,14 @@ impl MessageStats {
         }
     }
 
-    /// Per-kind counts, for reports.
+    /// Per-kind counts, for reports: kinds with a nonzero count, in
+    /// declaration (= `Ord`) order.
     pub fn breakdown(&self) -> impl Iterator<Item = (MessageKind, u64)> + '_ {
-        self.counts.iter().map(|(&k, &v)| (k, v))
+        MessageKind::ALL
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(_, &v)| v > 0)
+            .map(|(&k, &v)| (k, v))
     }
 }
 

@@ -1,18 +1,21 @@
 //! The simulated overlay network: construction, routing, probing.
 //!
-//! The network holds the ground-truth set of alive peers in a `BTreeMap`
-//! (used for *construction*, *liveness checks*, and *test assertions* only);
-//! **routing decisions use exclusively the per-node routing state**, which
-//! churn can make stale — that is the point of the simulation.
+//! The network holds the ground-truth set of alive peers in a sorted-vec
+//! [`NodeIndex`] (used for *construction*, *liveness checks*, and *test
+//! assertions* only); **routing decisions use exclusively the per-node
+//! routing state**, which churn can make stale — that is the point of the
+//! simulation.
 
 use crate::faults::{FaultDecision, FaultPlan};
 use crate::id::{RingId, RING_BITS};
+use crate::index::NodeIndex;
 use crate::messages::{MessageKind, MessageStats};
-use crate::node::{Node, SUCCESSOR_LIST_LEN};
+use crate::node::{Node, RouteBuf, SUCCESSOR_LIST_LEN};
 use crate::placement::Placement;
 use dde_stats::equidepth::EquiDepthSummary;
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Hard hop limit per lookup; exceeding it indicates a broken ring.
 pub const MAX_HOPS: u32 = 512;
@@ -77,9 +80,9 @@ pub struct ProbeReply {
 }
 
 /// The simulated ring overlay.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Network {
-    pub(crate) nodes: BTreeMap<RingId, Node>,
+    pub(crate) nodes: NodeIndex,
     pub(crate) placement: Placement,
     pub(crate) stats: MessageStats,
     /// Equi-depth buckets peers use in probe replies.
@@ -95,6 +98,40 @@ pub struct Network {
     pub(crate) maint_counter: u64,
     /// Installed fault plan; `None` injects nothing.
     pub(crate) faults: Option<FaultPlan>,
+    /// Data-mutation epoch: bumped by every operation that can change the
+    /// global multiset of stored primaries (bulk load, insert/delete, churn,
+    /// data repair). Guards the ground-truth cache below.
+    pub(crate) epoch: u64,
+    /// Cached sorted global value vector, valid for the epoch it was built
+    /// at. Interior mutability so [`Network::global_values`] stays `&self`.
+    truth_cache: Mutex<TruthCache>,
+}
+
+/// The memoized [`Network::global_values`] result and the epoch it is
+/// valid for.
+#[derive(Debug, Clone, Default)]
+struct TruthCache {
+    epoch: u64,
+    values: Option<Arc<Vec<f64>>>,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        let cache = self.truth_cache.lock().expect("truth cache poisoned").clone();
+        Self {
+            nodes: self.nodes.clone(),
+            placement: self.placement,
+            stats: self.stats.clone(),
+            summary_buckets: self.summary_buckets,
+            fingers_per_round: self.fingers_per_round,
+            finger_cursor: self.finger_cursor.clone(),
+            replication: self.replication,
+            maint_counter: self.maint_counter,
+            faults: self.faults.clone(),
+            epoch: self.epoch,
+            truth_cache: Mutex::new(cache),
+        }
+    }
 }
 
 /// Outcome of one hop-level request/reply exchange (see `Network::contact`).
@@ -114,7 +151,7 @@ impl Network {
     /// Creates an empty network.
     pub fn new(placement: Placement) -> Self {
         Self {
-            nodes: BTreeMap::new(),
+            nodes: NodeIndex::new(),
             placement,
             stats: MessageStats::new(),
             summary_buckets: 8,
@@ -123,7 +160,31 @@ impl Network {
             replication: 0,
             maint_counter: 0,
             faults: None,
+            epoch: 0,
+            truth_cache: Mutex::new(TruthCache::default()),
         }
+    }
+
+    /// A cheap copy-on-write fork of this network: per-peer stores share
+    /// their backing vectors until first mutation, so forking a loaded
+    /// network is O(P), not O(items). A fork is observationally identical to
+    /// the original — the scenario snapshot cache (`dde-sim`) relies on
+    /// forked cells being byte-identical to freshly built ones.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// The data-mutation epoch: changes whenever the global multiset of
+    /// stored primary values may have changed. Exposed for cache-invalidation
+    /// tests.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Marks the global data multiset as (possibly) changed, invalidating
+    /// the [`Network::global_values`] cache.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
     }
 
     /// Installs a fault plan; all subsequent lookup/probe/insert traffic is
@@ -178,15 +239,10 @@ impl Network {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         let idx = (z % self.len() as u64) as usize;
-        let pick = self.nodes.keys().nth(idx).copied().expect("len checked");
+        let pick = self.nodes.key_at(idx).expect("len checked");
         if pick == exclude {
             // Deterministically take the next peer (wrapping) instead.
-            self.nodes
-                .range((std::ops::Bound::Excluded(pick), std::ops::Bound::Unbounded))
-                .next()
-                .map(|(&id, _)| id)
-                .or_else(|| self.nodes.keys().next().copied())
-                .filter(|&id| id != exclude)
+            self.nodes.first_after(pick).or_else(|| self.nodes.first()).filter(|&id| id != exclude)
         } else {
             Some(pick)
         }
@@ -261,7 +317,11 @@ impl Network {
     }
 
     /// Mutable access to a peer (tests and protocol internals).
+    ///
+    /// Conservatively bumps the data-mutation epoch — the caller may mutate
+    /// the store through the returned reference.
     pub fn node_mut(&mut self, id: RingId) -> Option<&mut Node> {
+        self.bump_epoch();
         self.nodes.get_mut(&id)
     }
 
@@ -306,12 +366,7 @@ impl Network {
     /// Panics if the network is empty.
     pub fn true_owner(&self, t: RingId) -> RingId {
         assert!(!self.nodes.is_empty(), "true_owner on empty network");
-        self.nodes
-            .range(t..)
-            .next()
-            .or_else(|| self.nodes.iter().next())
-            .map(|(&id, _)| id)
-            .expect("nonempty")
+        self.nodes.key_at(self.nodes.owner_position(t)).expect("nonempty")
     }
 
     /// A uniformly random alive peer (simulator-level helper for choosing
@@ -321,20 +376,31 @@ impl Network {
             return None;
         }
         let idx = rng.gen_range(0..self.nodes.len());
-        self.nodes.keys().nth(idx).copied()
+        self.nodes.key_at(idx)
     }
 
     /// Distributes `items` to their owners per the placement map
     /// (construction-time; free of message charges).
     pub fn bulk_load(&mut self, items: &[f64]) {
         assert!(!self.nodes.is_empty(), "bulk_load on empty network");
-        let mut per_owner: BTreeMap<RingId, Vec<f64>> = BTreeMap::new();
+        self.bump_epoch();
+        // Two passes: count each owner's share, then fill exactly-sized
+        // buckets — no reallocation during the distribution.
+        let mut owners: Vec<usize> = Vec::with_capacity(items.len());
+        let mut counts: Vec<usize> = vec![0; self.nodes.len()];
         for &x in items {
-            let owner = self.true_owner(self.placement.place(x));
-            per_owner.entry(owner).or_default().push(x);
+            let pos = self.nodes.owner_position(self.placement.place(x));
+            owners.push(pos);
+            counts[pos] += 1;
         }
-        for (owner, vals) in per_owner {
-            self.nodes.get_mut(&owner).expect("alive owner").store.extend_values(vals);
+        let mut per_owner: Vec<Vec<f64>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (&x, &pos) in items.iter().zip(&owners) {
+            per_owner[pos].push(x);
+        }
+        for (pos, vals) in per_owner.into_iter().enumerate() {
+            if !vals.is_empty() {
+                self.nodes.node_at_mut(pos).store.extend_values(vals);
+            }
         }
     }
 
@@ -344,11 +410,29 @@ impl Network {
     }
 
     /// Every stored value, across all peers (ground truth for metrics).
+    ///
+    /// Memoized: the sorted vector is recomputed only when the data-mutation
+    /// epoch has moved since the last call (see [`Network::mutation_epoch`]).
     pub fn global_values(&self) -> Vec<f64> {
+        self.global_values_arc().as_ref().clone()
+    }
+
+    /// Shared-ownership form of [`Network::global_values`]: repeated calls
+    /// at the same epoch return the same allocation.
+    pub fn global_values_arc(&self) -> Arc<Vec<f64>> {
+        let mut cache = self.truth_cache.lock().expect("truth cache poisoned");
+        if cache.epoch == self.epoch {
+            if let Some(values) = &cache.values {
+                return Arc::clone(values);
+            }
+        }
         let mut all: Vec<f64> =
             self.nodes.values().flat_map(|n| n.store.values().iter().copied()).collect();
         all.sort_by(f64::total_cmp);
-        all
+        let values = Arc::new(all);
+        cache.epoch = self.epoch;
+        cache.values = Some(Arc::clone(&values));
+        values
     }
 
     /// The single timeout cost path: one timeout-marker message (header +
@@ -434,6 +518,9 @@ impl Network {
         }
         let mut cur = from;
         let mut hops: u32 = 0;
+        // One stack buffer reused across hops: the per-hop path allocates
+        // nothing (guarded by `crates/ring/tests/alloc_free.rs`).
+        let mut route_buf = RouteBuf::new();
         loop {
             if hops > MAX_HOPS {
                 return Err(LookupError::HopLimitExceeded);
@@ -451,10 +538,12 @@ impl Network {
                 return Err(LookupError::NoRoute);
             }
             // Is the target in (cur, successor]? Then the successor owns it.
-            let succs = node.successors.clone();
+            // (Iterate a stack snapshot: contacting a dead successor purges
+            // it from the live list.)
+            let (succs, succ_len) = node.successors_snapshot();
             let succ = succs[0];
             if target.in_arc(cur, succ) {
-                for s in succs {
+                for &s in &succs[..succ_len] {
                     match self.contact(cur, s) {
                         Contact::Ok => {
                             hops += 1;
@@ -474,9 +563,9 @@ impl Network {
             }
             // Advance via the best candidate that answers (any candidate
             // preserves correctness; faulted ones just cost a timeout).
-            let candidates = node.route_candidates(target);
+            node.route_candidates_into(target, &mut route_buf);
             let mut advanced = false;
-            for c in candidates {
+            for &c in route_buf.as_slice() {
                 if self.contact(cur, c) == Contact::Ok {
                     hops += 1;
                     cur = c;
@@ -489,8 +578,8 @@ impl Network {
                 // successor list (the target then lies beyond the first
                 // responsive one, so the next iteration resolves or
                 // advances from there).
-                let succs = self.nodes.get(&cur).expect("alive").successors.clone();
-                for s in succs {
+                let (succs, succ_len) = self.nodes.get(&cur).expect("alive").successors_snapshot();
+                for &s in &succs[..succ_len] {
                     if self.contact(cur, s) == Contact::Ok {
                         hops += 1;
                         cur = s;
@@ -579,6 +668,7 @@ impl Network {
     /// placement position and stores it there (one request + ack on top of
     /// the routing hops). This is the write path dynamic workloads use.
     pub fn insert(&mut self, initiator: RingId, x: f64) -> Result<u32, LookupError> {
+        self.bump_epoch();
         let pos = self.placement.place(x);
         let res = self.lookup(initiator, pos)?;
         // The handoff RPC (initiator → owner) is subject to the fault plan
@@ -620,6 +710,7 @@ impl Network {
     /// Deletes one occurrence of `x` through the overlay; returns whether an
     /// item was found (plus the routing hops spent).
     pub fn delete(&mut self, initiator: RingId, x: f64) -> Result<(bool, u32), LookupError> {
+        self.bump_epoch();
         let pos = self.placement.place(x);
         let res = self.lookup(initiator, pos)?;
         let removed = self.nodes.get_mut(&res.owner).expect("owner alive").store.remove(x);
@@ -678,10 +769,9 @@ impl Network {
             if p > 1 && node.predecessor == Some(id) {
                 violations.push(format!("{id}: predecessor is self"));
             }
-            let mut uniq = node.successors.clone();
-            uniq.sort();
-            uniq.dedup();
-            if uniq.len() != node.successors.len() {
+            let has_dup =
+                node.successors.iter().enumerate().any(|(i, s)| node.successors[..i].contains(s));
+            if has_dup {
                 violations.push(format!("{id}: successor list has duplicates"));
             }
             for &x in node.store.values() {

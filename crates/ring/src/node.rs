@@ -8,6 +8,63 @@ use std::collections::BTreeMap;
 /// networks up to ~2⁸·ln-ish failure patterns and is what we use everywhere).
 pub const SUCCESSOR_LIST_LEN: usize = 8;
 
+/// Upper bound on distinct routing candidates one node can enumerate: every
+/// finger slot plus every successor.
+pub const MAX_ROUTE_CANDIDATES: usize = RING_BITS as usize + SUCCESSOR_LIST_LEN;
+
+/// A reusable, heap-free buffer of routing candidates, best first.
+///
+/// One of these lives on the stack per lookup and is refilled each hop, so
+/// the per-hop routing path never allocates (see
+/// [`Node::route_candidates_into`]).
+#[derive(Debug, Clone)]
+pub struct RouteBuf {
+    ids: [RingId; MAX_ROUTE_CANDIDATES],
+    len: usize,
+}
+
+impl RouteBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self { ids: [RingId(0); MAX_ROUTE_CANDIDATES], len: 0 }
+    }
+
+    /// Drops all candidates.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The current candidates, best (most clockwise progress) first.
+    pub fn as_slice(&self) -> &[RingId] {
+        &self.ids[..self.len]
+    }
+
+    /// Inserts `c`, keeping candidates ordered by decreasing clockwise
+    /// distance from `me`; duplicates are dropped (distance from a fixed
+    /// origin is injective, so equal distance means equal id).
+    fn insert_by_progress(&mut self, me: RingId, c: RingId) {
+        let d = me.distance_to(c);
+        let pos = self.ids[..self.len].partition_point(|&x| me.distance_to(x) > d);
+        if pos < self.len && self.ids[pos] == c {
+            return;
+        }
+        debug_assert!(self.len < MAX_ROUTE_CANDIDATES);
+        self.ids.copy_within(pos..self.len, pos + 1);
+        self.ids[pos] = c;
+        self.len += 1;
+    }
+}
+
+impl Default for RouteBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A stack-allocated copy of a successor list (lookup iterates a snapshot
+/// because contacting a dead successor purges it from the live list).
+pub(crate) type SuccessorSnapshot = ([RingId; SUCCESSOR_LIST_LEN], usize);
+
 /// One peer: identifier, routing state, and local data.
 ///
 /// Routing state may be **stale** (pointing at departed peers or skipping
@@ -72,18 +129,30 @@ impl Node {
     /// clockwise progress. The caller (the network) tries them in order,
     /// skipping dead ones.
     pub fn route_candidates(&self, target: RingId) -> Vec<RingId> {
-        let mut cands: Vec<RingId> = self
-            .fingers
-            .iter()
-            .flatten()
-            .chain(self.successors.iter())
-            .copied()
-            .filter(|&c| c != self.id && c.in_open_arc(self.id, target))
-            .collect();
-        // Sort by progress toward target: larger distance from self first.
-        cands.sort_by_key(|&c| std::cmp::Reverse(self.id.distance_to(c)));
-        cands.dedup();
-        cands
+        let mut buf = RouteBuf::new();
+        self.route_candidates_into(target, &mut buf);
+        buf.as_slice().to_vec()
+    }
+
+    /// Allocation-free form of [`Node::route_candidates`]: fills `buf` with
+    /// the same candidates in the same best-first order.
+    pub fn route_candidates_into(&self, target: RingId, buf: &mut RouteBuf) {
+        buf.clear();
+        for &c in self.fingers.iter().flatten().chain(self.successors.iter()) {
+            if c != self.id && c.in_open_arc(self.id, target) {
+                buf.insert_by_progress(self.id, c);
+            }
+        }
+    }
+
+    /// Copies the successor list into a fixed stack array (callers iterate
+    /// the copy because `forget` may shrink the live list mid-walk).
+    pub(crate) fn successors_snapshot(&self) -> SuccessorSnapshot {
+        debug_assert!(self.successors.len() <= SUCCESSOR_LIST_LEN);
+        let mut ids = [self.id; SUCCESSOR_LIST_LEN];
+        let len = self.successors.len().min(SUCCESSOR_LIST_LEN);
+        ids[..len].copy_from_slice(&self.successors[..len]);
+        (ids, len)
     }
 
     /// Purges a (discovered-dead) peer from all routing state.

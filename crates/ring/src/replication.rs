@@ -100,16 +100,21 @@ impl Network {
             }
         }
 
+        if promoted > 0 {
+            self.bump_epoch();
+        }
+
         // 2. Refresh our own replicas on the first r alive successors.
-        let (store, succs) = {
+        let (store, succs, succ_len) = {
             let Some(node) = self.nodes.get(&id) else { return promoted };
-            (node.store.clone(), node.successors.clone())
+            let (succs, succ_len) = node.successors_snapshot();
+            (node.store.clone(), succs, succ_len)
         };
         if store.is_empty() {
             return promoted;
         }
         let mut placed = 0;
-        for s in succs {
+        for &s in &succs[..succ_len] {
             if placed >= self.replication {
                 break;
             }

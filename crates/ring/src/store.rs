@@ -7,11 +7,17 @@
 
 use dde_stats::equidepth::EquiDepthSummary;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A peer's local data: values sorted ascending.
+///
+/// The backing vector sits behind an [`Arc`] so cloning a store — and hence
+/// forking a whole loaded [`crate::Network`] from a cached scenario
+/// snapshot — is O(1) per peer; the first mutation of a shared store copies
+/// it (`Arc::make_mut`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LocalStore {
-    sorted: Vec<f64>,
+    sorted: Arc<Vec<f64>>,
 }
 
 impl LocalStore {
@@ -23,7 +29,7 @@ impl LocalStore {
     /// Builds from unsorted values.
     pub fn from_values(mut values: Vec<f64>) -> Self {
         values.sort_by(f64::total_cmp);
-        Self { sorted: values }
+        Self { sorted: Arc::new(values) }
     }
 
     /// Number of items.
@@ -41,13 +47,14 @@ impl LocalStore {
     pub fn insert(&mut self, x: f64) {
         debug_assert!(!x.is_nan());
         let pos = self.sorted.partition_point(|&v| v <= x);
-        self.sorted.insert(pos, x);
+        Arc::make_mut(&mut self.sorted).insert(pos, x);
     }
 
     /// Adds many values at once, re-sorting once (`O((n+m) log (n+m))`).
     pub fn extend_values(&mut self, values: impl IntoIterator<Item = f64>) {
-        self.sorted.extend(values);
-        self.sorted.sort_by(f64::total_cmp);
+        let sorted = Arc::make_mut(&mut self.sorted);
+        sorted.extend(values);
+        sorted.sort_by(f64::total_cmp);
     }
 
     /// Number of items `<= x` (exact).
@@ -79,19 +86,19 @@ impl LocalStore {
         if a >= b {
             return Vec::new();
         }
-        self.sorted.drain(a..b).collect()
+        Arc::make_mut(&mut self.sorted).drain(a..b).collect()
     }
 
     /// Removes and returns all items (graceful-leave handoff).
     pub fn drain_all(&mut self) -> Vec<f64> {
-        std::mem::take(&mut self.sorted)
+        std::mem::take(Arc::make_mut(&mut self.sorted))
     }
 
     /// Removes one occurrence of `x`; returns whether it was present.
     pub fn remove(&mut self, x: f64) -> bool {
         let pos = self.sorted.partition_point(|&v| v < x);
         if pos < self.sorted.len() && self.sorted[pos] == x {
-            self.sorted.remove(pos);
+            Arc::make_mut(&mut self.sorted).remove(pos);
             true
         } else {
             false
@@ -103,7 +110,7 @@ impl LocalStore {
     /// handoff set is defined in *ring* space, not value space.
     pub fn drain_by(&mut self, mut pred: impl FnMut(f64) -> bool) -> Vec<f64> {
         let mut out = Vec::new();
-        self.sorted.retain(|&x| {
+        Arc::make_mut(&mut self.sorted).retain(|&x| {
             if pred(x) {
                 out.push(x);
                 false

@@ -1,0 +1,42 @@
+//! Proof that the steady-state lookup hot path never touches the heap.
+//!
+//! This binary installs [`CountingAlloc`] as its global allocator and counts
+//! this thread's allocations across a block of warmed-up lookups. The
+//! routing path is designed allocation-free — stack [`dde_ring::RouteBuf`]
+//! candidates, stack successor snapshots, array-indexed message counters —
+//! and this test is the regression fence that keeps it that way.
+
+use dde_ring::{Network, Placement, RingId};
+use dde_stats::alloc::{thread_allocations, CountingAlloc};
+use dde_stats::rng::{Component, SeedSequence};
+use rand::Rng;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_lookup_allocates_nothing() {
+    let seq = SeedSequence::new(42);
+    let mut id_rng = seq.stream(Component::NodeIds, 0);
+    let mut ids: Vec<RingId> = (0..512).map(|_| RingId(id_rng.gen())).collect();
+    ids.sort();
+    ids.dedup();
+    let mut net = Network::build(ids, Placement::range(0.0, 1000.0));
+    let mut rng = seq.stream(Component::Workload, 0);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+
+    // Warm-up: fault-free, churn-free lookups have no lazy state to pull in,
+    // but a warm-up block keeps the fence honest if that ever changes.
+    for _ in 0..64 {
+        net.lookup(from, RingId(rng.gen())).expect("routes");
+    }
+
+    let before = thread_allocations();
+    let mut hops = 0u32;
+    for _ in 0..1_000 {
+        hops += net.lookup(from, RingId(rng.gen())).expect("routes").hops;
+    }
+    let delta = thread_allocations() - before;
+    assert!(hops > 1_000, "multi-hop routes expected in a 512-peer ring");
+    assert_eq!(delta, 0, "lookup hot path allocated {delta} times over 1000 lookups");
+}

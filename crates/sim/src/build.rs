@@ -6,6 +6,7 @@ use dde_stats::dist::Distribution;
 use dde_stats::rng::{Component, SeedSequence};
 use dde_stats::Ecdf;
 use rand::Rng;
+use std::sync::{Arc, Mutex};
 
 /// A built scenario: the network plus both flavours of ground truth.
 pub struct BuiltScenario {
@@ -21,12 +22,94 @@ pub struct BuiltScenario {
     pub scenario: Scenario,
 }
 
-/// Builds the scenario: derives the dataset and node ids from the master
-/// seed, wires a perfect ring, and bulk-loads the data.
+/// One cached build: everything in a [`BuiltScenario`] that is immutable
+/// and cheap to hand out again. The analytic `truth` is *not* stored — a
+/// `Box<dyn Distribution>` is rebuilt per caller from the scenario (pure
+/// parameters, no sampling), which keeps the snapshot `Send + Sync`.
+struct Snapshot {
+    net: Network,
+    data_ecdf: Ecdf,
+    /// The scenario the build actually used (the load-balanced + hashed
+    /// combination falls back to uniform ids, so this can differ from the
+    /// requested one).
+    scenario: Scenario,
+}
+
+/// Most distinct scenarios kept alive at once. The quick suite builds a few
+/// dozen distinct cells; evicting FIFO beyond this just re-runs a build.
+const SNAPSHOT_CAP: usize = 32;
+
+/// Content-keyed snapshot cache. A linear scan over `Debug`-rendered
+/// scenario keys — at ≤ [`SNAPSHOT_CAP`] entries this is cheaper than any
+/// map, and `Vec` keeps iteration order deterministic.
+static SNAPSHOTS: Mutex<Vec<(String, Arc<Snapshot>)>> = Mutex::new(Vec::new());
+
+fn snapshot_lookup(key: &str) -> Option<Arc<Snapshot>> {
+    let cache = SNAPSHOTS.lock().expect("snapshot cache poisoned");
+    cache.iter().find(|(k, _)| k == key).map(|(_, s)| Arc::clone(s))
+}
+
+fn snapshot_store(key: String, snap: Snapshot) {
+    let mut cache = SNAPSHOTS.lock().expect("snapshot cache poisoned");
+    if cache.iter().any(|(k, _)| *k == key) {
+        return; // lost a benign build race; first writer wins
+    }
+    if cache.len() >= SNAPSHOT_CAP {
+        cache.remove(0);
+    }
+    cache.push((key, Arc::new(snap)));
+}
+
+/// Builds the scenario, sharing work across repeated builds: the first
+/// build of a given scenario runs [`build_fresh`] and caches an immutable
+/// snapshot; later builds [`Network::fork`] the snapshot (cheap, copy-on-
+/// write stores) instead of regenerating and re-sorting the dataset.
+///
+/// The cache is keyed on the scenario's entire content, so any parameter
+/// change — including the seed — is a different entry. Forked and fresh
+/// builds are byte-for-byte interchangeable (proven by the determinism
+/// suite), so cache hits never change experiment output.
 ///
 /// # Panics
 /// Panics on degenerate scenarios (zero peers, zero items).
 pub fn build(scenario: &Scenario) -> BuiltScenario {
+    // ddelint::allow(wallclock, "timing-only: the duration feeds the build-time perf counter, never an experiment value")
+    let start = std::time::Instant::now();
+    let built = build_cached(scenario);
+    crate::exec::note_build(start.elapsed());
+    built
+}
+
+fn build_cached(scenario: &Scenario) -> BuiltScenario {
+    let key = format!("{scenario:?}");
+    if let Some(snap) = snapshot_lookup(&key) {
+        let (lo, hi) = snap.scenario.domain;
+        return BuiltScenario {
+            net: snap.net.fork(),
+            truth: snap.scenario.distribution.build(lo, hi),
+            data_ecdf: snap.data_ecdf.clone(),
+            scenario: snap.scenario.clone(),
+        };
+    }
+    let built = build_fresh(scenario);
+    snapshot_store(
+        key,
+        Snapshot {
+            net: built.net.fork(),
+            data_ecdf: built.data_ecdf.clone(),
+            scenario: built.scenario.clone(),
+        },
+    );
+    built
+}
+
+/// Builds the scenario from scratch, bypassing the snapshot cache: derives
+/// the dataset and node ids from the master seed, wires a perfect ring, and
+/// bulk-loads the data.
+///
+/// # Panics
+/// Panics on degenerate scenarios (zero peers, zero items).
+pub fn build_fresh(scenario: &Scenario) -> BuiltScenario {
     assert!(scenario.peers > 0, "scenario needs peers");
     assert!(scenario.items > 0, "scenario needs items");
     let (lo, hi) = scenario.domain;
@@ -54,7 +137,10 @@ pub fn build(scenario: &Scenario) -> BuiltScenario {
                 None => {
                     // Hashed placement: quantile layout is meaningless;
                     // fall back to uniform ids.
-                    return build(&Scenario { layout: NodeLayout::UniformIds, ..scenario.clone() });
+                    return build_fresh(&Scenario {
+                        layout: NodeLayout::UniformIds,
+                        ..scenario.clone()
+                    });
                 }
             };
             let mut sorted = data.clone();
@@ -92,6 +178,38 @@ mod tests {
         assert_eq!(a.net.len(), b.net.len());
         assert_eq!(a.net.global_values(), b.net.global_values());
         assert_eq!(a.data_ecdf.samples(), b.data_ecdf.samples());
+    }
+
+    #[test]
+    fn cached_build_matches_fresh() {
+        let s = Scenario::default().with_peers(24).with_items(2_000).with_seed(7701);
+        let fresh = build_fresh(&s);
+        let first = build(&s); // populates the snapshot cache
+        let forked = build(&s); // guaranteed cache hit → Network::fork path
+        for b in [&first, &forked] {
+            assert_eq!(b.net.len(), fresh.net.len());
+            assert_eq!(b.net.global_values(), fresh.net.global_values());
+            assert_eq!(b.data_ecdf.samples(), fresh.data_ecdf.samples());
+            assert_eq!(b.scenario, fresh.scenario);
+            assert!(b.net.check_invariants().is_empty());
+        }
+    }
+
+    #[test]
+    fn fallback_scenario_is_cached_consistently() {
+        // LoadBalanced + Hashed falls back to UniformIds inside build_fresh;
+        // the cached snapshot must reproduce the *returned* scenario.
+        let s = Scenario::default()
+            .with_peers(16)
+            .with_items(1_000)
+            .with_seed(7702)
+            .with_layout(NodeLayout::LoadBalanced)
+            .with_placement(PlacementMode::Hashed);
+        let miss = build(&s);
+        let hit = build(&s);
+        assert_eq!(miss.scenario.layout, NodeLayout::UniformIds);
+        assert_eq!(hit.scenario, miss.scenario);
+        assert_eq!(hit.net.global_values(), miss.net.global_values());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! when cell costs are wildly uneven (an `exact-walk` cell costs ~`O(P)`
 //! messages, a `k = 8` probe cell a few dozen).
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -27,6 +28,29 @@ static CELLS_DONE: AtomicU64 = AtomicU64::new(0);
 
 /// Aggregate cell CPU time (nanoseconds) since the last [`take_stats`] call.
 static CELL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Portion of [`CELL_NANOS`] spent inside scenario builds (the build-vs-run
+/// split; see [`note_build`]).
+static BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations made inside cells since the last [`take_stats`] call
+/// (stays 0 unless the binary registered [`dde_stats::alloc::CountingAlloc`],
+/// which the `expts` binary does under its `perf-counters` feature).
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Build nanoseconds accrued on this thread (monotone; cells measure a
+    /// before/after delta around themselves).
+    static TL_BUILD: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credits `d` to the current thread's scenario-build time. Called by
+/// [`crate::build`]; the surrounding cell (if any) attributes the delta to
+/// its own build-vs-run split.
+pub fn note_build(d: Duration) {
+    // `try_with`: fine to drop the credit during thread teardown.
+    let _ = TL_BUILD.try_with(|c| c.set(c.get() + d.as_nanos() as u64));
+}
 
 /// The worker count plans run with by default: the last [`set_jobs`] value,
 /// or the machine's available parallelism when unset (or set to 0).
@@ -52,6 +76,11 @@ pub struct ExecStats {
     pub cells: u64,
     /// Summed per-cell wall-clock (= CPU time modulo scheduler noise).
     pub cpu: Duration,
+    /// Portion of `cpu` spent building scenarios (snapshot-cache misses are
+    /// expensive, hits nearly free — this is the number the cache shrinks).
+    pub build: Duration,
+    /// Heap allocations made inside cells (0 without the counting allocator).
+    pub allocs: u64,
 }
 
 /// Drains the global cell counters, for progress/summary reporting.
@@ -59,6 +88,8 @@ pub fn take_stats() -> ExecStats {
     ExecStats {
         cells: CELLS_DONE.swap(0, Ordering::Relaxed),
         cpu: Duration::from_nanos(CELL_NANOS.swap(0, Ordering::Relaxed)),
+        build: Duration::from_nanos(BUILD_NANOS.swap(0, Ordering::Relaxed)),
+        allocs: ALLOC_COUNT.swap(0, Ordering::Relaxed),
     }
 }
 
@@ -69,6 +100,10 @@ pub struct CellResult<T> {
     pub value: T,
     /// The cell's wall-clock on its worker thread.
     pub elapsed: Duration,
+    /// Portion of `elapsed` spent in scenario builds (see [`note_build`]).
+    pub build: Duration,
+    /// Heap allocations the cell made (0 without the counting allocator).
+    pub allocs: u64,
 }
 
 type CellFn<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
@@ -119,16 +154,7 @@ impl<'a, T: Send> ExecPlan<'a, T> {
         let n = self.cells.len();
         let jobs = jobs.max(1).min(n.max(1));
         if jobs <= 1 {
-            return self
-                .cells
-                .into_iter()
-                .map(|cell| {
-                    // ddelint::allow(wallclock, "timing-only: elapsed feeds CellResult.elapsed and the stderr progress line, never an experiment value")
-                    let start = Instant::now();
-                    let value = cell();
-                    finish(CellResult { value, elapsed: start.elapsed() })
-                })
-                .collect();
+            return self.cells.into_iter().map(execute).collect();
         }
 
         let queue: Mutex<VecDeque<(usize, CellFn<'a, T>)>> =
@@ -145,10 +171,7 @@ impl<'a, T: Send> ExecPlan<'a, T> {
                     else {
                         break;
                     };
-                    // ddelint::allow(wallclock, "timing-only: elapsed feeds CellResult.elapsed and the stderr progress line, never an experiment value")
-                    let start = Instant::now();
-                    let value = cell();
-                    let result = finish(CellResult { value, elapsed: start.elapsed() });
+                    let result = execute(cell);
                     *slots[index]
                         .lock()
                         .expect("invariant: result slots are poisoned only if a cell panicked") =
@@ -167,10 +190,26 @@ impl<'a, T: Send> ExecPlan<'a, T> {
     }
 }
 
+/// Runs one cell on the current thread, measuring its wall-clock, its
+/// build-time share, and its allocation count, then books the counters.
+fn execute<T>(cell: CellFn<'_, T>) -> CellResult<T> {
+    let build0 = TL_BUILD.with(Cell::get);
+    let allocs0 = dde_stats::alloc::thread_allocations();
+    // ddelint::allow(wallclock, "timing-only: elapsed feeds CellResult.elapsed and the stderr progress line, never an experiment value")
+    let start = Instant::now();
+    let value = cell();
+    let elapsed = start.elapsed();
+    let build = Duration::from_nanos(TL_BUILD.with(Cell::get) - build0);
+    let allocs = dde_stats::alloc::thread_allocations() - allocs0;
+    finish(CellResult { value, elapsed, build, allocs })
+}
+
 /// Books a completed cell into the global counters.
 fn finish<T>(result: CellResult<T>) -> CellResult<T> {
     CELLS_DONE.fetch_add(1, Ordering::Relaxed);
     CELL_NANOS.fetch_add(result.elapsed.as_nanos() as u64, Ordering::Relaxed);
+    BUILD_NANOS.fetch_add(result.build.as_nanos() as u64, Ordering::Relaxed);
+    ALLOC_COUNT.fetch_add(result.allocs, Ordering::Relaxed);
     result
 }
 
@@ -250,6 +289,22 @@ mod tests {
         // Other tests may run plans concurrently in this binary, so only a
         // lower bound is safe to assert.
         assert!(stats.cells >= 5, "cells = {}", stats.cells);
+    }
+
+    #[test]
+    fn build_time_is_attributed_to_the_cell() {
+        let mut plan = ExecPlan::new();
+        plan.push(|| {
+            note_build(Duration::from_millis(5));
+            note_build(Duration::from_millis(2));
+            1u8
+        });
+        let out = plan.run_with(1);
+        assert!(out[0].build >= Duration::from_millis(7), "build = {:?}", out[0].build);
+        assert!(out[0].build <= out[0].elapsed.max(Duration::from_millis(7)));
+        // The global split sees it too (lower bound only: parallel tests).
+        let stats = take_stats();
+        assert!(stats.build >= Duration::from_millis(7), "build = {:?}", stats.build);
     }
 
     #[test]

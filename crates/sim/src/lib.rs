@@ -28,7 +28,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use build::{build, BuiltScenario};
+pub use build::{build, build_fresh, BuiltScenario};
 pub use dst::{DstConfig, DstEvent, DstFailure, InjectedBug, Schedule};
 pub use exec::{CellResult, ExecPlan};
 pub use report::Table;

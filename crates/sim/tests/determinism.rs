@@ -8,9 +8,11 @@
 //! estimator grids (f1, f3), per-run self-building cells (f5), and cells
 //! with fault-plan setup closures (f11).
 
+use dde_core::{DfDde, DfDdeConfig};
 use dde_sim::exec;
 use dde_sim::experiments::{run_by_id, Scale};
 use dde_sim::report::Table;
+use dde_sim::{aggregate, build, build_fresh, Scenario};
 
 fn render(tables: &[Table]) -> (String, String) {
     let text: String = tables.iter().map(dde_sim::Table::to_text).collect::<Vec<_>>().join("\n");
@@ -37,4 +39,27 @@ fn quick_suite_is_byte_identical_across_jobs() {
         );
         assert_eq!(serial.1, parallel.1, "{id}: CSV differs between --jobs 1 and --jobs 4");
     }
+}
+
+/// A forked (snapshot-cache-hit) build must be indistinguishable from a
+/// fresh one: same network, same ground truth, and — the stronger claim —
+/// the same estimator results when both copies are actually *run* (probes
+/// mutate message stats, evaluation draws RNG streams, etc.).
+#[test]
+fn forked_builds_replay_fresh_builds_exactly() {
+    let s = Scenario::default().with_peers(48).with_items(4_000).with_seed(4242);
+    let mut fresh = build_fresh(&s);
+    let mut first = build(&s); // populates (or hits) the snapshot cache
+    let mut forked = build(&s); // guaranteed cache hit → Network::fork
+
+    assert_eq!(fresh.net.global_values(), forked.net.global_values());
+    assert_eq!(fresh.data_ecdf.samples(), forked.data_ecdf.samples());
+
+    let est = DfDde::new(DfDdeConfig::with_probes(8));
+    let a = aggregate(&mut fresh, &est, 3);
+    let b = aggregate(&mut first, &est, 3);
+    let c = aggregate(&mut forked, &est, 3);
+    // Debug formatting prints f64s exactly, so equal strings = equal bits.
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "fresh vs first build diverged");
+    assert_eq!(format!("{a:?}"), format!("{c:?}"), "fresh vs forked build diverged");
 }

@@ -265,7 +265,7 @@ mod tests {
 
     /// Exact one-sample KS statistic of `sample` against U(0, 1).
     fn ks_uniform(sample: &mut [f64]) -> f64 {
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sample.sort_by(f64::total_cmp);
         let n = sample.len() as f64;
         sample
             .iter()

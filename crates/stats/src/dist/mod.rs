@@ -248,7 +248,7 @@ pub(crate) mod test_util {
         let mut rng = StdRng::seed_from_u64(7);
         let m = 4000;
         let mut xs: Vec<f64> = (0..m).map(|_| d.sample(&mut rng)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         let mut ks: f64 = 0.0;
         for (i, &x) in xs.iter().enumerate() {
             assert!((lo..=hi).contains(&x), "sample {x} outside domain");

@@ -221,7 +221,7 @@ mod tests {
     use super::*;
 
     fn summary_of(data: &mut [f64], buckets: usize) -> EquiDepthSummary {
-        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        data.sort_by(f64::total_cmp);
         EquiDepthSummary::from_sorted(data, buckets)
     }
 

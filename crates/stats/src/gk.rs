@@ -206,7 +206,7 @@ mod tests {
         for &x in &data {
             sketch.insert(x);
         }
-        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        data.sort_by(f64::total_cmp);
         for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
             let est = sketch.quantile(q).unwrap();
             let r = rank_of(&data, est) as f64;

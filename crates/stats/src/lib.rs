@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alloc;
 pub mod assert;
 pub mod dist;
 pub mod ecdf;

@@ -25,7 +25,7 @@ fn base_values(seed: u64, n: usize) -> Vec<f64> {
 
 /// Reorders `data` into one of five adversarial insertion orders.
 fn reorder(mut data: Vec<f64>, order: u8) -> Vec<f64> {
-    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("no NaN");
+    let cmp = f64::total_cmp;
     match order % 5 {
         0 => data, // the generator's random order
         1 => {
@@ -99,7 +99,7 @@ proptest! {
         }
         prop_assert_eq!(sketch.count(), n as u64);
         let mut sorted = data;
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         assert_gk_bound(&sketch, &sorted, eps, &format!("order {order}"));
         // Space stays sublinear even for the adversarial orders.
         prop_assert!(sketch.size() < n / 4, "size {} for n {}", sketch.size(), n);
@@ -128,7 +128,7 @@ proptest! {
         prop_assert_eq!(a.count(), n as u64);
         prop_assert!((a.epsilon() - eps_b).abs() < 1e-12, "merged eps reports the max");
         let mut sorted = data;
-        sorted.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         assert_gk_bound(&a, &sorted, eps_a + eps_b, "merged");
     }
 
@@ -163,7 +163,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let mut sorted = base_values(seed, n);
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         let s = EquiDepthSummary::from_sorted(&sorted, buckets);
         prop_assert_eq!(s.total(), n as u64);
 
@@ -205,7 +205,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let mut sorted = base_values(seed, n);
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         let s = EquiDepthSummary::from_sorted(&sorted, buckets);
         for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
             let x = s.quantile(q).expect("nonempty");
