@@ -11,8 +11,12 @@
 //!            byte-identical for every N — see EXPERIMENTS.md "Runner")
 //!
 //! expts dst [--schedules N] [--events N] [--seed S] [--peers N] [--items N]
-//!           [--replication N] [--bug] [--out FILE] [--jobs N]
+//!           [--replication N] [--bug [NAME]] [--out FILE] [--jobs N]
 //! expts dst --replay FILE
+//!
+//!   --bug takes an optional drill name: `skip-successor-on-heal` (default,
+//!   the crash-heal membership race) or `drop-capacity-fifo-guard` (the
+//!   capacity axis's per-link FIFO clamp dropped).
 //!
 //!   Deterministic simulation testing (see TESTING.md). The fuzz form runs N
 //!   seeded schedules against the invariant oracle; on failure it shrinks to
@@ -167,7 +171,7 @@ fn dst_main(raw: Vec<String>) {
     let mut replay: Option<PathBuf> = None;
     let mut out = PathBuf::from("dst-repro.ron");
 
-    let mut args = raw.into_iter();
+    let mut args = raw.into_iter().peekable();
     while let Some(arg) = args.next() {
         let num = |flag: &str, args: &mut dyn Iterator<Item = String>| -> u64 {
             match args.next().and_then(|n| n.parse::<u64>().ok()) {
@@ -186,7 +190,30 @@ fn dst_main(raw: Vec<String>) {
             "--items" => cfg.items = num("--items", &mut args) as usize,
             "--replication" => cfg.replication = num("--replication", &mut args) as usize,
             "--jobs" => exec::set_jobs(num("--jobs", &mut args) as usize),
-            "--bug" => cfg.bug = Some(InjectedBug::SkipSuccessorOnHeal),
+            "--bug" => {
+                // The drill name is optional (bare --bug keeps the original
+                // membership drill); only consume the next token when it
+                // names a bug rather than starting the next flag.
+                let named = args.peek().filter(|a| !a.starts_with("--")).cloned();
+                cfg.bug = Some(match named.as_deref() {
+                    None => InjectedBug::SkipSuccessorOnHeal,
+                    Some("skip-successor-on-heal") => {
+                        args.next();
+                        InjectedBug::SkipSuccessorOnHeal
+                    }
+                    Some("drop-capacity-fifo-guard") => {
+                        args.next();
+                        InjectedBug::DropCapacityFifoGuard
+                    }
+                    Some(other) => {
+                        eprintln!(
+                            "unknown bug '{other}' (known: skip-successor-on-heal, \
+                             drop-capacity-fifo-guard)"
+                        );
+                        std::process::exit(2);
+                    }
+                });
+            }
             "--replay" => {
                 let Some(file) = args.next() else {
                     eprintln!("--replay needs a file argument");
@@ -204,7 +231,7 @@ fn dst_main(raw: Vec<String>) {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: expts dst [--schedules N] [--events N] [--seed S] [--peers N] \
-                     [--items N] [--replication N] [--bug] [--out FILE] [--jobs N]"
+                     [--items N] [--replication N] [--bug [NAME]] [--out FILE] [--jobs N]"
                 );
                 eprintln!("       expts dst --replay FILE");
                 return;

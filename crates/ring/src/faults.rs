@@ -23,6 +23,7 @@
 //!   never double-counted.
 
 use crate::id::RingId;
+use std::collections::BTreeMap;
 
 /// splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
 fn mix(mut z: u64) -> u64 {
@@ -69,6 +70,14 @@ pub enum FaultDecision {
     Sick,
     /// The contacted peer crashes mid-request — a permanent failure.
     Crash,
+    /// The contacted peer is in the low-capacity class and its reply missed
+    /// the caller's deadline: the request **was** processed, but the sender
+    /// observes a timeout (do not purge routing state — the peer is alive,
+    /// just overloaded).
+    Slow,
+    /// The link crosses an arc-partition cut: nothing gets through in either
+    /// direction until the partition heals (do not purge — both sides live).
+    Partitioned,
 }
 
 /// A seeded, fully deterministic fault plan (see module docs).
@@ -89,6 +98,27 @@ pub struct FaultPlan {
     pub sick_window: u64,
     /// Delay distribution for delivered messages.
     pub delay: DelayDist,
+    /// Fraction of peers in the static low-capacity (slow) class.
+    pub capacity_slow: f64,
+    /// Delay multiplier for messages *sent by* slow-class peers.
+    pub capacity_factor: u64,
+    /// Patience deadline in delay units: a slow peer's reply whose scaled
+    /// delay draw exceeds this surfaces as a [`FaultDecision::Slow`]
+    /// timeout (0 = callers wait forever; pure delay scaling).
+    pub capacity_deadline: u64,
+    /// Active arc partition as `(start, span)` in ring-id space: the
+    /// contiguous arc `[start, start + span)` (wrap-around) is cut off from
+    /// the rest of the ring.
+    pub partition: Option<(u64, u64)>,
+    /// Whether the per-link FIFO clamp is active (see [`FaultPlan::deliver`]).
+    /// Disabled only by the DST bug-injection drill.
+    fifo_guard: bool,
+    /// Per-directed-link delivery front: the largest delay handed out on
+    /// that link so far, in delay units (capacity axis only).
+    link_fronts: BTreeMap<(u64, u64), u64>,
+    /// Same-link delivery reorderings observed (always 0 with the FIFO
+    /// guard on — the invariant the DST oracle checks).
+    reorderings: u64,
     /// Decision-stream position; advances once per roll.
     counter: u64,
     /// Operation clock; advances once per lookup/probe/insert.
@@ -107,6 +137,13 @@ impl FaultPlan {
             sick: 0.0,
             sick_window: 64,
             delay: DelayDist::default(),
+            capacity_slow: 0.0,
+            capacity_factor: 1,
+            capacity_deadline: 0,
+            partition: None,
+            fifo_guard: true,
+            link_fronts: BTreeMap::new(),
+            reorderings: 0,
             counter: 0,
             clock: 0,
         }
@@ -141,6 +178,51 @@ impl FaultPlan {
     pub fn with_delay(mut self, delay: DelayDist) -> Self {
         self.delay = delay;
         self
+    }
+
+    /// Puts a `slow` fraction of peers in a static low-capacity class:
+    /// every message they send takes `factor`× the drawn delay, and a reply
+    /// whose scaled delay draw exceeds `deadline` misses the caller's
+    /// patience (surfacing as a [`FaultDecision::Slow`] timeout; `deadline
+    /// = 0` means callers wait forever and the axis is pure delay scaling).
+    pub fn with_capacity(mut self, slow: f64, factor: u64, deadline: u64) -> Self {
+        self.capacity_slow = slow;
+        self.capacity_factor = factor.max(1);
+        self.capacity_deadline = deadline;
+        self
+    }
+
+    /// Cuts the contiguous id arc `[start, start + span)` (wrap-around) off
+    /// from the rest of the ring: no message crosses the cut, in either
+    /// direction, until [`FaultPlan::heal_partition`] is called.
+    pub fn with_partition(mut self, start: u64, span: u64) -> Self {
+        self.partition = if span == 0 { None } else { Some((start, span)) };
+        self
+    }
+
+    /// Heals the arc partition (if any).
+    pub fn heal_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// Disables the per-link FIFO clamp in [`FaultPlan::deliver`]. This is
+    /// the DST bug-injection hook (`DropCapacityFifoGuard`): with the guard
+    /// off, same-link reorderings are *tallied* instead of prevented, and
+    /// the oracle's `reorderings() == 0` invariant catches them.
+    pub fn without_fifo_guard(mut self) -> Self {
+        self.fifo_guard = false;
+        self
+    }
+
+    /// Same-link delivery reorderings observed so far (always 0 while the
+    /// FIFO guard is on).
+    pub fn reorderings(&self) -> u64 {
+        self.reorderings
+    }
+
+    /// Whether the heterogeneous-capacity axis is active.
+    pub fn capacity_active(&self) -> bool {
+        self.capacity_slow > 0.0 && self.capacity_factor > 1
     }
 
     /// The plan's seed.
@@ -187,6 +269,18 @@ impl FaultPlan {
         self.roll(mix(peer.0)) < self.crash
     }
 
+    /// The one per-peer fault-class draw, shared by every axis that places
+    /// peers in classes (sick windows, capacity classes). Pure — consumes
+    /// no decision-stream state — so membership is stable within an epoch,
+    /// and all class-based axes ride the same operation clock instead of
+    /// each keeping private timeout bookkeeping that could drift. `salt`
+    /// identifies the axis; `epoch` selects the membership generation
+    /// (`clock / window` for rotating axes, a nonzero constant for static
+    /// ones — zero would erase the salt, colliding every axis).
+    fn class_draw(&self, peer: RingId, epoch: u64, salt: u64) -> f64 {
+        unit(mix(self.seed ^ mix(peer.0) ^ mix(epoch.wrapping_mul(salt))))
+    }
+
     /// Whether `peer` is inside a sick window *right now*. Pure in the
     /// clock: the same peer stays sick for the whole window and the sick
     /// set is re-drawn when the window rolls over.
@@ -194,9 +288,28 @@ impl FaultPlan {
         if self.sick <= 0.0 {
             return false;
         }
-        let window = self.clock / self.sick_window;
-        unit(mix(self.seed ^ mix(peer.0) ^ mix(window.wrapping_mul(0xA076_1D64_78BD_642F))))
-            < self.sick
+        self.class_draw(peer, self.clock / self.sick_window, 0xA076_1D64_78BD_642F) < self.sick
+    }
+
+    /// Whether `peer` is in the static low-capacity class. Pure; the class
+    /// never rotates (capacity is a property of the peer, not a window).
+    pub fn is_slow(&self, peer: RingId) -> bool {
+        if self.capacity_slow <= 0.0 {
+            return false;
+        }
+        // Epoch 1, not 0: the epoch multiplies the axis salt, and 0 would
+        // collapse every static axis onto one membership draw.
+        self.class_draw(peer, 1, 0x8CB9_2BA7_2F3D_8DD7) < self.capacity_slow
+    }
+
+    /// Whether the `from → to` link crosses the active arc-partition cut.
+    /// Pure; consumes nothing when no partition is installed.
+    pub fn partitioned(&self, from: RingId, to: RingId) -> bool {
+        let Some((start, span)) = self.partition else {
+            return false;
+        };
+        let in_arc = |id: RingId| id.0.wrapping_sub(start) < span;
+        in_arc(from) != in_arc(to)
     }
 
     /// Draws one delivered-message delay in cost units.
@@ -209,11 +322,52 @@ impl FaultPlan {
         d.base + mix(self.seed ^ mix(self.counter) ^ 0x6A09_E667_F3BC_C909) % (d.jitter + 1)
     }
 
+    /// Draws the delivery delay for one `from → to` message. Without the
+    /// capacity axis this is exactly [`FaultPlan::message_delay`] — same
+    /// draw, same stream position. With it, a message sent by a slow-class
+    /// peer takes `capacity_factor`× the drawn delay, and the per-link FIFO
+    /// clamp raises the result to the link's front so a later send never
+    /// arrives before an earlier one on the same directed link. With the
+    /// guard disabled (bug drill), the raw delay is used as-is and every
+    /// would-be reordering is tallied in [`FaultPlan::reorderings`].
+    pub fn deliver(&mut self, from: RingId, to: RingId) -> u64 {
+        let raw = self.message_delay();
+        if !self.capacity_active() {
+            return raw;
+        }
+        let scaled = if self.is_slow(from) { raw * self.capacity_factor } else { raw };
+        let front = self.link_fronts.entry((from.0, to.0)).or_insert(0);
+        if scaled < *front {
+            if self.fifo_guard {
+                return *front;
+            }
+            self.reorderings += 1;
+            return scaled;
+        }
+        *front = scaled;
+        scaled
+    }
+
+    /// Whether the contacted slow peer's reply misses the caller's
+    /// deadline. Consumes a decision-stream draw only when the capacity
+    /// axis has a deadline *and* `to` is slow, so inactive axes never
+    /// perturb the stream.
+    fn reply_overdue(&mut self, to: RingId) -> bool {
+        if self.capacity_deadline == 0 || !self.capacity_active() || !self.is_slow(to) {
+            return false;
+        }
+        self.message_delay() * self.capacity_factor > self.capacity_deadline
+    }
+
     /// One combined decision for an application-level request/reply RPC on
-    /// the `from → to` link, rolling the faults in causal order: a sick or
-    /// crashed peer never replies, a lost request is never processed, and
-    /// only a processed request can lose its reply.
+    /// the `from → to` link, rolling the faults in causal order: a
+    /// partitioned link carries nothing, a sick or crashed peer never
+    /// replies, a lost request is never processed, and only a processed
+    /// request can have its reply arrive late or get lost.
     pub fn decide_rpc(&mut self, from: RingId, to: RingId) -> FaultDecision {
+        if self.partitioned(from, to) {
+            return FaultDecision::Partitioned;
+        }
         if self.is_sick(to) {
             return FaultDecision::Sick;
         }
@@ -222,6 +376,9 @@ impl FaultPlan {
         }
         if self.crashes(to) {
             return FaultDecision::Crash;
+        }
+        if self.reply_overdue(to) {
+            return FaultDecision::Slow;
         }
         if self.reply_lost(to, from) {
             return FaultDecision::ReplyLost;
@@ -289,6 +446,109 @@ mod tests {
         }
         let later: Vec<bool> = peers.iter().map(|&p| plan.is_sick(p)).collect();
         assert_ne!(snapshot, later, "sick set should rotate across windows");
+    }
+
+    #[test]
+    fn deliver_matches_message_delay_when_capacity_inactive() {
+        // The default path must be byte-identical whether a call site uses
+        // `deliver` or the legacy `message_delay` — same draws, same stream.
+        let mut a = FaultPlan::new(9).with_delay(DelayDist { base: 1, jitter: 7 });
+        let mut b = a.clone();
+        for i in 0..200u64 {
+            let d = a.deliver(RingId(mix(i)), RingId(mix(!i)));
+            assert_eq!(d, b.message_delay());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slow_class_is_static_and_roughly_honours_fraction() {
+        let mut plan = FaultPlan::new(5).with_capacity(0.25, 4, 0);
+        let peers: Vec<RingId> = (0..400).map(|i| RingId(mix(i))).collect();
+        let before: Vec<bool> = peers.iter().map(|&p| plan.is_slow(p)).collect();
+        let slow = before.iter().filter(|&&s| s).count();
+        assert!((60..=140).contains(&slow), "slow fraction off: {slow}/400");
+        // Static: the class never rotates with the operation clock.
+        for _ in 0..200 {
+            plan.tick();
+        }
+        let after: Vec<bool> = peers.iter().map(|&p| plan.is_slow(p)).collect();
+        assert_eq!(before, after);
+        // And independent of the sick class under the same seed.
+        let sick_plan = FaultPlan::new(5).with_sick(0.25, 8);
+        let sick: Vec<bool> = peers.iter().map(|&p| sick_plan.is_sick(p)).collect();
+        assert_ne!(before, sick, "slow and sick classes must not alias");
+    }
+
+    #[test]
+    fn fifo_guard_prevents_reordering_and_drill_hook_counts_it() {
+        let slow_sender = |plan: &FaultPlan| {
+            (0..u64::MAX).map(|i| RingId(mix(i))).find(|&p| plan.is_slow(p)).expect("slow peer")
+        };
+        let mut guarded = FaultPlan::new(77)
+            .with_capacity(0.5, 6, 0)
+            .with_delay(DelayDist { base: 1, jitter: 9 });
+        let from = slow_sender(&guarded);
+        let to = RingId(0xDEAD_BEEF);
+        let mut prev = 0;
+        for _ in 0..100 {
+            let d = guarded.deliver(from, to);
+            assert!(d >= prev, "guarded delivery reordered: {d} < {prev}");
+            prev = d;
+        }
+        assert_eq!(guarded.reorderings(), 0);
+        // Same draws with the guard dropped: reorderings happen and are
+        // tallied — this is what the DST drill relies on.
+        let mut buggy = FaultPlan::new(77)
+            .with_capacity(0.5, 6, 0)
+            .with_delay(DelayDist { base: 1, jitter: 9 })
+            .without_fifo_guard();
+        for _ in 0..100 {
+            buggy.deliver(from, to);
+        }
+        assert!(buggy.reorderings() > 0, "unguarded jittered link never reordered");
+    }
+
+    #[test]
+    fn partition_cuts_crossing_links_both_ways_and_heals() {
+        let mut plan = FaultPlan::new(3).with_partition(100, 50);
+        let inside = RingId(120);
+        let outside = RingId(10);
+        let inside2 = RingId(149);
+        assert!(plan.partitioned(inside, outside));
+        assert!(plan.partitioned(outside, inside));
+        assert!(!plan.partitioned(inside, inside2));
+        assert!(!plan.partitioned(outside, RingId(99)));
+        assert_eq!(plan.decide_rpc(inside, outside), FaultDecision::Partitioned);
+        assert_eq!(plan.decide_rpc(inside, inside2), FaultDecision::Clean);
+        plan.heal_partition();
+        assert!(!plan.partitioned(inside, outside));
+        // Wrap-around arc: [u64::MAX - 10, u64::MAX - 10 + 20) spans zero.
+        let wrapped = FaultPlan::new(3).with_partition(u64::MAX - 10, 20);
+        assert!(wrapped.partitioned(RingId(u64::MAX - 5), RingId(1000)));
+        assert!(!wrapped.partitioned(RingId(u64::MAX - 5), RingId(5)));
+    }
+
+    #[test]
+    fn overloaded_replies_miss_tight_deadlines() {
+        // Deadline below the scaled minimum: every RPC to a slow peer is
+        // Slow; fast peers are untouched.
+        let mut plan = FaultPlan::new(21)
+            .with_capacity(0.5, 8, 4)
+            .with_delay(DelayDist { base: 1, jitter: 0 });
+        let peers: Vec<RingId> = (0..64).map(|i| RingId(mix(i))).collect();
+        let from = RingId(1);
+        for &p in &peers {
+            let want = if plan.is_slow(p) { FaultDecision::Slow } else { FaultDecision::Clean };
+            assert_eq!(plan.decide_rpc(from, p), want);
+        }
+        // A generous deadline lets every reply through.
+        let mut lax = FaultPlan::new(21)
+            .with_capacity(0.5, 8, 1000)
+            .with_delay(DelayDist { base: 1, jitter: 0 });
+        for &p in &peers {
+            assert_eq!(lax.decide_rpc(from, p), FaultDecision::Clean);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 pub const HEADER_BYTES: usize = 48;
 
 /// Number of [`MessageKind`] variants (size of the dense counter array).
-const KIND_COUNT: usize = 14;
+const KIND_COUNT: usize = 16;
 
 /// The kinds of messages the overlay exchanges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,6 +47,11 @@ pub enum MessageKind {
     FaultCrash,
     /// An injected fault: a timeout on a transiently sick (not dead) peer.
     FaultSick,
+    /// An injected fault: a low-capacity peer's reply missed the caller's
+    /// deadline (the request was processed; the peer is alive).
+    FaultSlow,
+    /// An injected fault: the message could not cross an arc-partition cut.
+    FaultPartition,
 }
 
 impl MessageKind {
@@ -67,6 +72,8 @@ impl MessageKind {
         MessageKind::FaultReplyDrop,
         MessageKind::FaultCrash,
         MessageKind::FaultSick,
+        MessageKind::FaultSlow,
+        MessageKind::FaultPartition,
     ];
 
     /// Dense index of this kind (its position in declaration order).
@@ -86,6 +93,8 @@ impl MessageKind {
             MessageKind::FaultReplyDrop => 11,
             MessageKind::FaultCrash => 12,
             MessageKind::FaultSick => 13,
+            MessageKind::FaultSlow => 14,
+            MessageKind::FaultPartition => 15,
         }
     }
 }
@@ -141,6 +150,8 @@ impl MessageStats {
             + self.count(MessageKind::FaultReplyDrop)
             + self.count(MessageKind::FaultCrash)
             + self.count(MessageKind::FaultSick)
+            + self.count(MessageKind::FaultSlow)
+            + self.count(MessageKind::FaultPartition)
     }
 
     /// Total messages of `kind`.

@@ -208,6 +208,10 @@ impl Network {
     /// `false` without a plan. Estimators that simulate their own message
     /// exchanges (gossip pushes, walk steps) subject them to the plan here.
     pub fn message_lost(&mut self, from: RingId, to: RingId) -> bool {
+        if self.faults.as_ref().is_some_and(|p| p.partitioned(from, to)) {
+            self.stats.record(MessageKind::FaultPartition, 8);
+            return true;
+        }
         let lost = self.faults.as_mut().is_some_and(|p| p.request_lost(from, to));
         if lost {
             self.stats.record(MessageKind::FaultDrop, 8);
@@ -218,6 +222,10 @@ impl Network {
     /// Rolls the installed plan for one application-level reply `from →
     /// to`; `true` means the reply was dropped (tallied as a fault).
     pub fn reply_lost(&mut self, from: RingId, to: RingId) -> bool {
+        if self.faults.as_ref().is_some_and(|p| p.partitioned(from, to)) {
+            self.stats.record(MessageKind::FaultPartition, 8);
+            return true;
+        }
         let lost = self.faults.as_mut().is_some_and(|p| p.reply_lost(from, to));
         if lost {
             self.stats.record(MessageKind::FaultReplyDrop, 8);
@@ -471,7 +479,7 @@ impl Network {
                 self.stats.record(MessageKind::LookupHop, 8);
                 self.stats.record(MessageKind::LookupHop, 8);
                 if let Some(p) = self.faults.as_mut() {
-                    let d = p.message_delay() + p.message_delay();
+                    let d = p.deliver(from, to) + p.deliver(to, from);
                     self.stats.record_delay(d);
                 }
                 Contact::Ok
@@ -488,6 +496,16 @@ impl Network {
                 // The request arrived and was processed; its reply vanished.
                 self.stats.record(MessageKind::LookupHop, 8);
                 self.observe_timeout(MessageKind::FaultReplyDrop);
+                Contact::Faulted
+            }
+            FaultDecision::Slow => {
+                // Processed, but the overloaded peer's reply came too late.
+                self.stats.record(MessageKind::LookupHop, 8);
+                self.observe_timeout(MessageKind::FaultSlow);
+                Contact::Faulted
+            }
+            FaultDecision::Partitioned => {
+                self.observe_timeout(MessageKind::FaultPartition);
                 Contact::Faulted
             }
             FaultDecision::Crash => {
@@ -606,28 +624,10 @@ impl Network {
         // The probe RPC itself (initiator → owner) is subject to the fault
         // plan, except when the initiator owns the point (local read).
         if res.owner != initiator {
-            match self.decide_rpc(initiator, res.owner) {
-                FaultDecision::Clean => {}
-                FaultDecision::Sick => {
-                    self.observe_timeout(MessageKind::FaultSick);
-                    return Err(LookupError::MessageLost);
-                }
-                FaultDecision::RequestLost => {
-                    self.observe_timeout(MessageKind::FaultDrop);
-                    return Err(LookupError::MessageLost);
-                }
-                FaultDecision::Crash => {
-                    let _ = self.fail(res.owner);
-                    self.observe_timeout(MessageKind::FaultCrash);
-                    return Err(LookupError::MessageLost);
-                }
-                FaultDecision::ReplyLost => {
-                    // The peer processed the probe; the reply vanished.
-                    self.stats.record(MessageKind::Probe, 8);
-                    self.observe_timeout(MessageKind::FaultReplyDrop);
-                    return Err(LookupError::MessageLost);
-                }
-            }
+            self.settle_app_rpc(initiator, res.owner, |net| {
+                // The peer processed the probe; the reply never arrived.
+                net.stats.record(MessageKind::Probe, 8);
+            })?;
         }
         let node = self.nodes.get(&res.owner).expect("owner alive");
         let summary = node.store.summary(self.summary_buckets);
@@ -642,7 +642,7 @@ impl Network {
         };
         self.stats.record(MessageKind::Probe, 8);
         self.stats.record(MessageKind::ProbeReply, 40 + reply.summary.wire_size());
-        self.charge_rpc_delay();
+        self.charge_rpc_delay(initiator, res.owner);
         Ok(reply)
     }
 
@@ -655,11 +655,59 @@ impl Network {
         }
     }
 
+    /// Settles the application-level RPC `from → to` that follows a
+    /// successful lookup (probe, insert handoff): rolls the plan once and
+    /// routes **every** failure through the unified [`Network::observe_timeout`]
+    /// path, so all axes — transient faults, crashes, capacity deadlines,
+    /// partitions — share one timeout accounting that cannot drift apart.
+    /// `on_processed` runs exactly when the remote peer processed the
+    /// request but the caller still saw silence (lost or late reply) — the
+    /// at-most-once side effects live there.
+    fn settle_app_rpc(
+        &mut self,
+        from: RingId,
+        to: RingId,
+        on_processed: impl FnOnce(&mut Self),
+    ) -> Result<(), LookupError> {
+        match self.decide_rpc(from, to) {
+            FaultDecision::Clean => Ok(()),
+            FaultDecision::Partitioned => {
+                self.observe_timeout(MessageKind::FaultPartition);
+                Err(LookupError::MessageLost)
+            }
+            FaultDecision::Sick => {
+                self.observe_timeout(MessageKind::FaultSick);
+                Err(LookupError::MessageLost)
+            }
+            FaultDecision::RequestLost => {
+                self.observe_timeout(MessageKind::FaultDrop);
+                Err(LookupError::MessageLost)
+            }
+            FaultDecision::Crash => {
+                let _ = self.fail(to);
+                self.observe_timeout(MessageKind::FaultCrash);
+                Err(LookupError::MessageLost)
+            }
+            FaultDecision::ReplyLost => {
+                on_processed(self);
+                self.observe_timeout(MessageKind::FaultReplyDrop);
+                Err(LookupError::MessageLost)
+            }
+            FaultDecision::Slow => {
+                on_processed(self);
+                self.observe_timeout(MessageKind::FaultSlow);
+                Err(LookupError::MessageLost)
+            }
+        }
+    }
+
     /// Charges delivery delay for one request + reply pair, if a plan with
-    /// a delay distribution is installed.
-    fn charge_rpc_delay(&mut self) {
+    /// a delay distribution is installed. Delays route through
+    /// [`FaultPlan::deliver`] so the capacity axis can scale and
+    /// FIFO-clamp them per link.
+    fn charge_rpc_delay(&mut self, from: RingId, to: RingId) {
         if let Some(p) = self.faults.as_mut() {
-            let d = p.message_delay() + p.message_delay();
+            let d = p.deliver(from, to) + p.deliver(to, from);
             self.stats.record_delay(d);
         }
     }
@@ -674,36 +722,19 @@ impl Network {
         // The handoff RPC (initiator → owner) is subject to the fault plan
         // unless the write is local.
         if res.owner != initiator {
-            match self.decide_rpc(initiator, res.owner) {
-                FaultDecision::Clean => {}
-                FaultDecision::Sick => {
-                    self.observe_timeout(MessageKind::FaultSick);
-                    return Err(LookupError::MessageLost);
-                }
-                FaultDecision::RequestLost => {
-                    self.observe_timeout(MessageKind::FaultDrop);
-                    return Err(LookupError::MessageLost);
-                }
-                FaultDecision::Crash => {
-                    let _ = self.fail(res.owner);
-                    self.observe_timeout(MessageKind::FaultCrash);
-                    return Err(LookupError::MessageLost);
-                }
-                FaultDecision::ReplyLost => {
-                    // At-most-once confusion, faithfully modelled: the item
-                    // *was* stored but the ack vanished, so the writer sees
-                    // a failure (a retry would duplicate — its problem).
-                    self.nodes.get_mut(&res.owner).expect("owner alive").store.insert(x);
-                    self.stats.record(MessageKind::Handoff, 8);
-                    self.observe_timeout(MessageKind::FaultReplyDrop);
-                    return Err(LookupError::MessageLost);
-                }
-            }
+            self.settle_app_rpc(initiator, res.owner, |net| {
+                // At-most-once confusion, faithfully modelled: the item
+                // *was* stored but the ack vanished (or came too late), so
+                // the writer sees a failure (a retry would duplicate — its
+                // problem).
+                net.nodes.get_mut(&res.owner).expect("owner alive").store.insert(x);
+                net.stats.record(MessageKind::Handoff, 8);
+            })?;
         }
         self.nodes.get_mut(&res.owner).expect("owner alive").store.insert(x);
         self.stats.record(MessageKind::Handoff, 8);
         self.stats.record(MessageKind::Handoff, 0);
-        self.charge_rpc_delay();
+        self.charge_rpc_delay(initiator, res.owner);
         Ok(res.hops)
     }
 

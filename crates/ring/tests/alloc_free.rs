@@ -40,3 +40,39 @@ fn steady_state_lookup_allocates_nothing() {
     assert!(hops > 1_000, "multi-hop routes expected in a 512-peer ring");
     assert_eq!(delta, 0, "lookup hot path allocated {delta} times over 1000 lookups");
 }
+
+#[test]
+fn hotspot_arc_lookup_stays_allocation_free() {
+    // The adversarial scenario pack's id shape: most peers packed into one
+    // narrow arc (1/64th of the ring), a handful spread over the rest, and
+    // every lookup aimed *into* the packed arc. Degenerate finger tables
+    // must not push the warmed routing path onto the heap.
+    let seq = SeedSequence::new(77);
+    let mut id_rng = seq.stream(Component::NodeIds, 1);
+    let arc_start = 0xC000_0000_0000_0000u64;
+    let arc_span = u64::MAX / 64;
+    let mut ids: Vec<RingId> =
+        (0..448).map(|_| RingId(arc_start.wrapping_add(id_rng.gen::<u64>() % arc_span))).collect();
+    ids.extend((0..64).map(|_| RingId(id_rng.gen())));
+    ids.sort();
+    ids.dedup();
+    let mut net = Network::build(ids, Placement::range(0.0, 1000.0));
+    let mut rng = seq.stream(Component::Workload, 1);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+    let hot = move |rng: &mut rand::rngs::StdRng| {
+        RingId(arc_start.wrapping_add(rng.gen::<u64>() % arc_span))
+    };
+
+    for _ in 0..64 {
+        let target = hot(&mut rng);
+        net.lookup(from, target).expect("routes");
+    }
+
+    let before = thread_allocations();
+    for _ in 0..1_000 {
+        let target = hot(&mut rng);
+        net.lookup(from, target).expect("routes");
+    }
+    let delta = thread_allocations() - before;
+    assert_eq!(delta, 0, "hotspot-arc lookup allocated {delta} times over 1000 lookups");
+}

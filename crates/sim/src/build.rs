@@ -1,9 +1,10 @@
 //! Turning a [`Scenario`] into a live network with data and ground truth.
 
+use crate::adversary;
 use crate::scenario::{NodeLayout, PlacementMode, Scenario};
-use dde_ring::{Network, Placement, RingId};
+use dde_ring::{FaultPlan, Network, Placement, RingId};
 use dde_stats::dist::Distribution;
-use dde_stats::rng::{Component, SeedSequence};
+use dde_stats::rng::{splitmix64, Component, SeedSequence};
 use dde_stats::Ecdf;
 use rand::Rng;
 use std::sync::{Arc, Mutex};
@@ -153,6 +154,25 @@ pub fn build_fresh(scenario: &Scenario) -> BuiltScenario {
                 })
                 .collect()
         }
+        NodeLayout::Adversarial => {
+            // Worst case for uncorrected arc-uniform sampling: most peers
+            // packed into the sparsest data window (see `crate::adversary`).
+            // Pure function of the dataset — consumes no id entropy.
+            let map = match placement.domain_map() {
+                Some(m) => *m,
+                None => {
+                    // Hashed placement decouples arcs from data; the layout
+                    // is meaningless there, as for LoadBalanced.
+                    return build_fresh(&Scenario {
+                        layout: NodeLayout::UniformIds,
+                        ..scenario.clone()
+                    });
+                }
+            };
+            let mut sorted = data.clone();
+            sorted.sort_by(f64::total_cmp);
+            adversary::adversarial_ids(scenario.peers, &sorted, lo, hi, &map)
+        }
     };
     ids.sort();
     ids.dedup();
@@ -161,8 +181,61 @@ pub fn build_fresh(scenario: &Scenario) -> BuiltScenario {
     net.set_summary_buckets(scenario.summary_buckets);
     net.bulk_load(&data);
 
+    if scenario.flash_crowd > 0 {
+        // A crowd of peers joins back-to-back through the overlay — no
+        // stabilization rounds in between — clustered on the densest data
+        // region (that's where flash crowds land: the content being
+        // mobbed). Joins go through the real membership path so item
+        // conservation is the overlay's own guarantee, not the builder's.
+        let mut fc_rng = seq.stream(Component::Churn, 0xF1A5);
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        let bootstrap = net.ids().next().expect("built network has peers");
+        for _ in 0..scenario.flash_crowd {
+            let id = match placement.domain_map() {
+                Some(map) => {
+                    let w = adversary::densest_window(&sorted, lo, hi);
+                    let (start, span) = adversary::window_arc(w, lo, hi, map);
+                    let off = ((u128::from(fc_rng.gen::<u64>()) * u128::from(span)) >> 64) as u64;
+                    RingId(start.wrapping_add(off))
+                }
+                None => RingId(fc_rng.gen()),
+            };
+            // An occupied id is skipped, not retried: the crowd size is
+            // "up to N", and retry loops would couple the entropy stream
+            // to the current membership.
+            let _ = net.join(id, bootstrap);
+        }
+    }
+
+    match (scenario.capacity, scenario.partition) {
+        (None, None) => {}
+        (cap, part) => {
+            // Static environment axes live in a fault plan installed at
+            // build time; its decision stream is seeded off the scenario so
+            // forked snapshots replay it identically.
+            let mut plan = FaultPlan::new(splitmix64(scenario.seed ^ 0xA7E5));
+            if let Some(c) = cap {
+                plan = plan.with_capacity(f64::from(c.slow_pm) / 1000.0, c.factor, c.deadline);
+            }
+            if let Some(p) = part {
+                plan = plan.with_partition(pm_to_ring(p.start_pm), pm_to_ring(p.span_pm));
+            }
+            net.set_fault_plan(plan);
+        }
+    }
+
+    // Construction traffic (flash-crowd joins, handoffs) is free: counters
+    // measure the estimators, not the builder.
+    net.stats_mut().reset();
+
     let data_ecdf = Ecdf::new(data);
     BuiltScenario { net, truth, data_ecdf, scenario: scenario.clone() }
+}
+
+/// Converts a per-mille ring position/span to id space (1000 = full ring).
+pub(crate) fn pm_to_ring(pm: u32) -> u64 {
+    ((u128::from(pm) << 64) / 1000).min(u128::from(u64::MAX)) as u64
 }
 
 #[cfg(test)]
@@ -276,6 +349,144 @@ mod tests {
         // Hashing decouples volume from value skew; remaining imbalance is
         // the arc-length variance of consistent hashing (Θ(log P) factor).
         assert!(max < 8.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn adversarial_layout_maximizes_sampling_bias() {
+        let base = Scenario::default()
+            .with_peers(64)
+            .with_items(20_000)
+            .with_distribution(DistributionKind::Pareto { shape: 1.2 })
+            .with_seed(7703);
+        let uniform = build(&base.clone());
+        let adv = build(&base.with_layout(NodeLayout::Adversarial));
+        let bias_u = crate::adversary::arc_weighted_bias(&uniform.net).abs();
+        let bias_a = crate::adversary::arc_weighted_bias(&adv.net).abs();
+        assert!(
+            bias_a > 3.0 * bias_u.max(0.05),
+            "adversarial placement must dominate uniform bias: {bias_a} vs {bias_u}"
+        );
+        assert!(adv.net.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn adversarial_layout_falls_back_under_hashing() {
+        let s = Scenario::default()
+            .with_peers(16)
+            .with_items(1_000)
+            .with_seed(7704)
+            .with_layout(NodeLayout::Adversarial)
+            .with_placement(PlacementMode::Hashed);
+        let built = build(&s);
+        assert_eq!(built.scenario.layout, NodeLayout::UniformIds);
+        assert!(built.net.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_joins_conserve_items_and_grow_the_ring() {
+        let base = Scenario::default().with_peers(32).with_items(4_000).with_seed(7705);
+        let calm = build_fresh(&base.clone());
+        let crowd = build_fresh(&base.with_flash_crowd(12));
+        assert_eq!(crowd.net.total_items(), calm.net.total_items(), "joins must conserve items");
+        assert!(crowd.net.len() > calm.net.len(), "crowd must actually join");
+        assert!(crowd.net.len() <= calm.net.len() + 12);
+        // Construction traffic is not billed to the experiment.
+        assert_eq!(crowd.net.stats().total_messages(), 0);
+        assert!(crowd.net.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn capacity_and_partition_axes_install_a_plan() {
+        use crate::scenario::{CapacitySpec, PartitionSpec};
+        let s = Scenario::default()
+            .with_peers(16)
+            .with_items(500)
+            .with_seed(7706)
+            .with_capacity(CapacitySpec { slow_pm: 250, factor: 4, deadline: 0 })
+            .with_partition(PartitionSpec { start_pm: 100, span_pm: 200 });
+        let built = build_fresh(&s);
+        let plan = built.net.fault_plan().expect("axes install a plan");
+        assert!(plan.capacity_active());
+        assert!(build_fresh(&Scenario::default().with_peers(16).with_items(500))
+            .net
+            .fault_plan()
+            .is_none());
+    }
+
+    #[test]
+    fn forked_axis_builds_replay_build_fresh_exactly() {
+        use crate::scenario::{CapacitySpec, PartitionSpec};
+        let base = Scenario::default().with_peers(24).with_items(2_000);
+        let variants = [
+            base.clone().with_seed(7710).with_layout(NodeLayout::Adversarial),
+            base.clone().with_seed(7711).with_flash_crowd(6),
+            base.clone().with_seed(7712).with_capacity(CapacitySpec {
+                slow_pm: 300,
+                factor: 4,
+                deadline: 8,
+            }),
+            base.clone()
+                .with_seed(7713)
+                .with_partition(PartitionSpec { start_pm: 250, span_pm: 300 }),
+            base.clone().with_seed(7714).with_distribution(DistributionKind::HotspotZipf {
+                cells: 32,
+                exponent: 1.2,
+                arcs: 2,
+            }),
+        ];
+        for s in &variants {
+            let fresh = build_fresh(s);
+            let _warm = build(s); // populate the cache
+            let forked = build(s); // guaranteed hit → Network::fork path
+            assert_eq!(forked.net.len(), fresh.net.len(), "{s:?}");
+            assert_eq!(forked.net.global_values(), fresh.net.global_values(), "{s:?}");
+            assert_eq!(forked.data_ecdf.samples(), fresh.data_ecdf.samples(), "{s:?}");
+            assert_eq!(forked.scenario, fresh.scenario, "{s:?}");
+            assert_eq!(
+                format!("{:?}", forked.net.fault_plan()),
+                format!("{:?}", fresh.net.fault_plan()),
+                "forked plan must replay the fresh decision stream: {s:?}"
+            );
+            assert!(forked.net.check_invariants().is_empty(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn axis_parameters_never_collide_in_the_cache_key() {
+        use crate::scenario::{CapacitySpec, PartitionSpec};
+        // The snapshot cache is keyed on the Debug rendering of the whole
+        // scenario; every distinct axis parameterization must produce a
+        // distinct key or cells would silently share networks.
+        let base = Scenario::default().with_peers(8).with_items(100).with_seed(9);
+        let variants: Vec<Scenario> = vec![
+            base.clone(),
+            base.clone().with_layout(NodeLayout::Adversarial),
+            base.clone().with_flash_crowd(1),
+            base.clone().with_flash_crowd(2),
+            base.clone().with_capacity(CapacitySpec { slow_pm: 250, factor: 4, deadline: 0 }),
+            base.clone().with_capacity(CapacitySpec { slow_pm: 250, factor: 4, deadline: 8 }),
+            base.clone().with_capacity(CapacitySpec { slow_pm: 250, factor: 8, deadline: 0 }),
+            base.clone().with_capacity(CapacitySpec { slow_pm: 500, factor: 4, deadline: 0 }),
+            base.clone().with_partition(PartitionSpec { start_pm: 0, span_pm: 100 }),
+            base.clone().with_partition(PartitionSpec { start_pm: 100, span_pm: 100 }),
+            base.clone().with_partition(PartitionSpec { start_pm: 0, span_pm: 200 }),
+            base.clone().with_distribution(DistributionKind::HotspotZipf {
+                cells: 32,
+                exponent: 1.2,
+                arcs: 2,
+            }),
+            base.clone().with_distribution(DistributionKind::HotspotZipf {
+                cells: 32,
+                exponent: 1.2,
+                arcs: 3,
+            }),
+        ];
+        let keys: Vec<String> = variants.iter().map(|s| format!("{s:?}")).collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "cache-key collision between variants {i} and {j}");
+            }
+        }
     }
 
     #[test]

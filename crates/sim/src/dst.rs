@@ -5,7 +5,9 @@
 //!
 //! * **Schedule fuzzer** — [`generate`] derives an arbitrary interleaving of
 //!   `Join / Leave / Crash / Heal / Insert / Probe / EstimateRefresh /
-//!   FaultWindow` events from a master seed. Every event carries *concrete*
+//!   FaultWindow` events — plus the adversarial pack: `FlashCrowd /
+//!   HotspotBurst / CapacitySkew / ArcPartition / AdversarialJoin` (see
+//!   `TESTING.md` §scenario axes) — from a master seed. Every event carries *concrete*
 //!   parameters (entropy words, peer ranks resolved against the alive set at
 //!   application time), never a shared RNG — so removing events during
 //!   shrinking cannot perturb how the remaining ones apply.
@@ -103,6 +105,57 @@ pub enum DstEvent {
         /// Events the window stays installed for.
         duration: u16,
     },
+    /// A flash crowd: several peers join back-to-back — within one
+    /// stabilization window, no repair rounds in between.
+    FlashCrowd {
+        /// Raw entropy the joiners' ring ids (and bootstrap rank) derive
+        /// from.
+        id_entropy: u64,
+        /// Peers joining back-to-back.
+        count: u16,
+    },
+    /// A burst of probes from one initiator, all aimed inside one narrow
+    /// hot arc (Zipf-head traffic in miniature).
+    HotspotBurst {
+        /// Rank (mod alive count) of the probing peer.
+        initiator_rank: u64,
+        /// Raw entropy for the hot arc's centre and per-probe jitter.
+        entropy: u64,
+        /// Probes in the burst.
+        count: u16,
+    },
+    /// A heterogeneous-capacity window: a static slow class whose outgoing
+    /// messages are delay-scaled (and may miss reply deadlines) for the
+    /// next `duration` events (or until a `Heal`).
+    CapacitySkew {
+        /// Seed for the plan's decision streams.
+        entropy: u64,
+        /// Per-mille of peers in the slow class.
+        slow_pm: u16,
+        /// Delay multiplier for messages sent by slow peers.
+        factor: u16,
+        /// Reply deadline in delay units (0 = callers wait forever).
+        deadline: u16,
+        /// Events the window stays installed for.
+        duration: u16,
+    },
+    /// A spatially-correlated partition: a contiguous ring arc is cut off
+    /// from the rest for the next `duration` events (or until a `Heal`).
+    ArcPartition {
+        /// Arc start in per-mille of the ring.
+        start_pm: u16,
+        /// Arc span in per-mille of the ring.
+        span_pm: u16,
+        /// Events the partition stays up for.
+        duration: u16,
+    },
+    /// An adversarially placed joiner: lands mid-arc of the peer holding
+    /// the fewest items, maximizing arc-uniform sampling bias (the
+    /// event-level cousin of `NodeLayout::Adversarial`).
+    AdversarialJoin {
+        /// Jitter entropy positioning the joiner inside the target arc.
+        jitter: u64,
+    },
 }
 
 impl std::fmt::Display for DstEvent {
@@ -131,6 +184,30 @@ impl std::fmt::Display for DstEvent {
                 "FaultWindow(entropy: {entropy}, loss_pm: {loss_pm}, reply_loss_pm: \
                  {reply_loss_pm}, sick_pm: {sick_pm}, duration: {duration})"
             ),
+            DstEvent::FlashCrowd { id_entropy, count } => {
+                write!(f, "FlashCrowd(id_entropy: {id_entropy}, count: {count})")
+            }
+            DstEvent::HotspotBurst { initiator_rank, entropy, count } => {
+                write!(
+                    f,
+                    "HotspotBurst(initiator_rank: {initiator_rank}, entropy: {entropy}, \
+                     count: {count})"
+                )
+            }
+            DstEvent::CapacitySkew { entropy, slow_pm, factor, deadline, duration } => write!(
+                f,
+                "CapacitySkew(entropy: {entropy}, slow_pm: {slow_pm}, factor: {factor}, \
+                 deadline: {deadline}, duration: {duration})"
+            ),
+            DstEvent::ArcPartition { start_pm, span_pm, duration } => {
+                write!(
+                    f,
+                    "ArcPartition(start_pm: {start_pm}, span_pm: {span_pm}, duration: {duration})"
+                )
+            }
+            DstEvent::AdversarialJoin { jitter } => {
+                write!(f, "AdversarialJoin(jitter: {jitter})")
+            }
         }
     }
 }
@@ -145,6 +222,12 @@ pub enum InjectedBug {
     /// post-heal ground-truth oracle must catch it; the minimal reproducer
     /// is `[Crash, Heal]`.
     SkipSuccessorOnHeal,
+    /// The capacity axis's per-link FIFO delivery clamp is dropped, so a
+    /// later message on a jittered slow link can overtake an earlier one.
+    /// The always-on reordering oracle must catch it; the minimal
+    /// reproducer is `[CapacitySkew, HotspotBurst]` (repeated deliveries on
+    /// one slow initiator→owner link).
+    DropCapacityFifoGuard,
 }
 
 /// Configuration for schedule generation.
@@ -205,21 +288,40 @@ pub fn generate(cfg: &DstConfig) -> Schedule {
 }
 
 fn random_event(rng: &mut StdRng) -> DstEvent {
-    match rng.gen_range(0..100u32) {
+    match rng.gen_range(0..120u32) {
         0..=9 => DstEvent::Join { id_entropy: rng.gen(), bootstrap_rank: rng.gen() },
         10..=17 => DstEvent::Leave { victim_rank: rng.gen() },
         18..=25 => DstEvent::Crash { victim_rank: rng.gen() },
         26..=37 => DstEvent::Heal,
-        38..=57 => DstEvent::Insert { initiator_rank: rng.gen(), value_entropy: rng.gen() },
-        58..=77 => DstEvent::Probe { initiator_rank: rng.gen(), point: rng.gen() },
-        78..=89 => DstEvent::EstimateRefresh { initiator_rank: rng.gen(), entropy: rng.gen() },
-        _ => DstEvent::FaultWindow {
+        38..=55 => DstEvent::Insert { initiator_rank: rng.gen(), value_entropy: rng.gen() },
+        56..=73 => DstEvent::Probe { initiator_rank: rng.gen(), point: rng.gen() },
+        74..=84 => DstEvent::EstimateRefresh { initiator_rank: rng.gen(), entropy: rng.gen() },
+        85..=93 => DstEvent::FaultWindow {
             entropy: rng.gen(),
             loss_pm: rng.gen_range(0..=300),
             reply_loss_pm: rng.gen_range(0..=150),
             sick_pm: rng.gen_range(0..=100),
             duration: rng.gen_range(1..=8),
         },
+        94..=98 => DstEvent::FlashCrowd { id_entropy: rng.gen(), count: rng.gen_range(2..=6) },
+        99..=103 => DstEvent::HotspotBurst {
+            initiator_rank: rng.gen(),
+            entropy: rng.gen(),
+            count: rng.gen_range(4..=16),
+        },
+        104..=109 => DstEvent::CapacitySkew {
+            entropy: rng.gen(),
+            slow_pm: rng.gen_range(100..=600),
+            factor: rng.gen_range(2..=8),
+            deadline: rng.gen_range(0..=12),
+            duration: rng.gen_range(1..=8),
+        },
+        110..=114 => DstEvent::ArcPartition {
+            start_pm: rng.gen_range(0..1000),
+            span_pm: rng.gen_range(50..=400),
+            duration: rng.gen_range(1..=8),
+        },
+        _ => DstEvent::AdversarialJoin { jitter: rng.gen() },
     }
 }
 
@@ -352,7 +454,7 @@ impl World {
             }
             DstEvent::Heal => {
                 self.fault_countdown = 0;
-                self.net.clear_fault_plan();
+                self.drop_plan(&mut extra);
                 let mut quiesced = false;
                 for _ in 0..MAX_HEAL_ROUNDS {
                     if self.net.stabilize_round() == 0 {
@@ -455,17 +557,135 @@ impl World {
                 self.net.set_fault_plan(plan);
                 self.fault_countdown = usize::from(duration);
             }
+            DstEvent::FlashCrowd { id_entropy, count } => {
+                let (items_before, peers_before) = (self.net.total_items(), self.net.len());
+                let bootstrap = self.peer_at(id_entropy);
+                for i in 0..u64::from(count) {
+                    let id = RingId(splitmix64(id_entropy.wrapping_add(i)));
+                    if !self.net.is_alive(id) {
+                        // Individual joins may fail under faults; what must
+                        // hold regardless is conservation, checked below.
+                        let _ = self.net.join(id, bootstrap);
+                    }
+                }
+                // Joins move items, never mint or destroy them (DST plans
+                // never enable crash decisions, so no store can vanish
+                // mid-join).
+                let items_after = self.net.total_items();
+                if items_after != items_before {
+                    extra.push(format!(
+                        "flash crowd broke item conservation: {items_before} -> {items_after}"
+                    ));
+                }
+                if self.net.len() < peers_before {
+                    extra.push(format!(
+                        "flash crowd shrank the ring: {peers_before} -> {}",
+                        self.net.len()
+                    ));
+                }
+            }
+            DstEvent::HotspotBurst { initiator_rank, entropy, count } => {
+                let initiator = self.peer_at(initiator_rank);
+                let before = self.net.stats().total_messages();
+                let centre = splitmix64(entropy);
+                for i in 0..u64::from(count) {
+                    // All probes land inside a 1/256th-ring hot arc.
+                    let jitter = splitmix64(entropy ^ (i + 1)) >> 8;
+                    let _ = self.net.probe(initiator, RingId(centre.wrapping_add(jitter)));
+                }
+                // Every probe attempt bills at least one message: a routed
+                // probe, or the timeout marker of whatever fault ate it.
+                let delta = self.net.stats().total_messages() - before;
+                if delta < u64::from(count) {
+                    extra.push(format!(
+                        "hotspot burst of {count} probes billed only {delta} messages"
+                    ));
+                }
+            }
+            DstEvent::CapacitySkew { entropy, slow_pm, factor, deadline, duration } => {
+                let mut plan = FaultPlan::new(splitmix64(entropy)).with_capacity(
+                    f64::from(slow_pm) / 1000.0,
+                    u64::from(factor),
+                    u64::from(deadline),
+                );
+                if self.bug == Some(InjectedBug::DropCapacityFifoGuard) {
+                    // The injected delivery bug: the per-link FIFO clamp is
+                    // gone, so jittered slow links can reorder.
+                    plan = plan.without_fifo_guard();
+                }
+                self.net.set_fault_plan(plan);
+                self.fault_countdown = usize::from(duration);
+            }
+            DstEvent::ArcPartition { start_pm, span_pm, duration } => {
+                let entropy = (u64::from(start_pm) << 16) | u64::from(span_pm);
+                let plan = FaultPlan::new(splitmix64(entropy)).with_partition(
+                    crate::build::pm_to_ring(u32::from(start_pm)),
+                    crate::build::pm_to_ring(u32::from(span_pm)),
+                );
+                self.net.set_fault_plan(plan);
+                self.fault_countdown = usize::from(duration);
+            }
+            DstEvent::AdversarialJoin { jitter } => {
+                // Target the peer holding the fewest items: splitting its
+                // arc adds another tiny, data-free arc — the worst case for
+                // uncorrected arc-uniform sampling.
+                let target = self
+                    .net
+                    .ids()
+                    .min_by_key(|&id| (self.net.node(id).map_or(0, |n| n.store.len()), id))
+                    .expect("nonempty network");
+                let ids: Vec<RingId> = self.net.ids().collect();
+                let pos = ids.iter().position(|&id| id == target).expect("alive");
+                let pred = ids[(pos + ids.len() - 1) % ids.len()];
+                let arc = target.0.wrapping_sub(pred.0);
+                if arc >= 4 {
+                    // Middle half of the arc: never collides with either end.
+                    let off = arc / 4 + jitter % (arc / 2);
+                    let id = RingId(pred.0.wrapping_add(off));
+                    let items_before = self.net.total_items();
+                    if !self.net.is_alive(id) {
+                        let _ = self.net.join(id, target);
+                    }
+                    let items_after = self.net.total_items();
+                    if items_after != items_before {
+                        extra.push(format!(
+                            "adversarial join broke item conservation: \
+                             {items_before} -> {items_after}"
+                        ));
+                    }
+                }
+            }
         }
 
-        // Expire an installed fault window (the window itself doesn't tick).
-        if self.fault_countdown > 0 && !matches!(event, DstEvent::FaultWindow { .. }) {
+        // Expire an installed fault window (installer events don't tick).
+        let installer = matches!(
+            event,
+            DstEvent::FaultWindow { .. }
+                | DstEvent::CapacitySkew { .. }
+                | DstEvent::ArcPartition { .. }
+        );
+        if self.fault_countdown > 0 && !installer {
             self.fault_countdown -= 1;
             if self.fault_countdown == 0 {
-                self.net.clear_fault_plan();
+                self.drop_plan(&mut extra);
             }
         }
 
         self.oracle(index, event, extra)
+    }
+
+    /// Uninstalls the fault plan, folding its terminal reordering tally into
+    /// the violation list first — the tally dies with the plan, and FIFO
+    /// delivery must hold over the plan's whole lifetime.
+    fn drop_plan(&mut self, extra: &mut Vec<String>) {
+        if let Some(plan) = self.net.clear_fault_plan() {
+            if plan.reorderings() > 0 {
+                extra.push(format!(
+                    "FIFO delivery violated: {} same-link reordering(s)",
+                    plan.reorderings()
+                ));
+            }
+        }
     }
 
     /// The always-on oracle, evaluated after every event. `extra` carries
@@ -501,6 +721,17 @@ impl World {
         self.prev_messages = messages;
         self.prev_bytes = bytes;
         self.prev_delay = delay;
+
+        // Per-link FIFO delivery: the capacity axis may delay messages,
+        // never reorder them on one directed link.
+        if let Some(plan) = self.net.fault_plan() {
+            if plan.reorderings() > 0 {
+                violations.push(format!(
+                    "FIFO delivery violated: {} same-link reordering(s)",
+                    plan.reorderings()
+                ));
+            }
+        }
 
         // Item conservation (replication off only: with replication on, a
         // promotion against adversarially stale arcs may legitimately race a
@@ -653,6 +884,9 @@ pub fn to_repro(schedule: &Schedule) -> String {
     match schedule.bug {
         None => out.push_str("    bug: None,\n"),
         Some(InjectedBug::SkipSuccessorOnHeal) => out.push_str("    bug: SkipSuccessorOnHeal,\n"),
+        Some(InjectedBug::DropCapacityFifoGuard) => {
+            out.push_str("    bug: DropCapacityFifoGuard,\n");
+        }
     }
     out.push_str("    events: [\n");
     for event in &schedule.events {
@@ -702,6 +936,7 @@ pub fn parse_repro(text: &str) -> Result<Schedule, String> {
                 bug = match value {
                     "None" => None,
                     "SkipSuccessorOnHeal" => Some(InjectedBug::SkipSuccessorOnHeal),
+                    "DropCapacityFifoGuard" => Some(InjectedBug::DropCapacityFifoGuard),
                     other => return Err(format!("unknown bug: {other:?}")),
                 }
             }
@@ -765,6 +1000,27 @@ fn parse_event(line: &str) -> Result<DstEvent, String> {
             sick_pm: get("sick_pm")? as u16,
             duration: get("duration")? as u16,
         }),
+        "FlashCrowd" => {
+            Ok(DstEvent::FlashCrowd { id_entropy: get("id_entropy")?, count: get("count")? as u16 })
+        }
+        "HotspotBurst" => Ok(DstEvent::HotspotBurst {
+            initiator_rank: get("initiator_rank")?,
+            entropy: get("entropy")?,
+            count: get("count")? as u16,
+        }),
+        "CapacitySkew" => Ok(DstEvent::CapacitySkew {
+            entropy: get("entropy")?,
+            slow_pm: get("slow_pm")? as u16,
+            factor: get("factor")? as u16,
+            deadline: get("deadline")? as u16,
+            duration: get("duration")? as u16,
+        }),
+        "ArcPartition" => Ok(DstEvent::ArcPartition {
+            start_pm: get("start_pm")? as u16,
+            span_pm: get("span_pm")? as u16,
+            duration: get("duration")? as u16,
+        }),
+        "AdversarialJoin" => Ok(DstEvent::AdversarialJoin { jitter: get("jitter")? }),
         other => Err(format!("unknown event: {other:?}")),
     }
 }
@@ -815,6 +1071,111 @@ mod tests {
         let failure = run_schedule(&buggy).expect_err("bug must trip the post-heal oracle");
         assert_eq!(failure.event_index, 1);
         assert!(failure.violations.iter().any(|v| v.contains("successor")), "{failure}");
+    }
+
+    #[test]
+    fn new_adversarial_events_round_trip_through_repro() {
+        let schedule = Schedule {
+            seed: 3,
+            peers: 10,
+            items: 100,
+            replication: 0,
+            bug: Some(InjectedBug::DropCapacityFifoGuard),
+            events: vec![
+                DstEvent::FlashCrowd { id_entropy: 5, count: 3 },
+                DstEvent::HotspotBurst { initiator_rank: 1, entropy: 8, count: 6 },
+                DstEvent::CapacitySkew {
+                    entropy: 2,
+                    slow_pm: 400,
+                    factor: 4,
+                    deadline: 9,
+                    duration: 3,
+                },
+                DstEvent::ArcPartition { start_pm: 120, span_pm: 250, duration: 2 },
+                DstEvent::AdversarialJoin { jitter: 77 },
+            ],
+        };
+        let text = to_repro(&schedule);
+        let parsed = parse_repro(&text).expect("parses");
+        assert_eq!(parsed, schedule);
+        assert_eq!(to_repro(&parsed), text);
+    }
+
+    #[test]
+    fn adversarial_event_mix_runs_clean_without_bugs() {
+        let schedule = Schedule {
+            seed: 11,
+            peers: 24,
+            items: 800,
+            replication: 0,
+            bug: None,
+            events: vec![
+                DstEvent::FlashCrowd { id_entropy: 0xAB, count: 4 },
+                DstEvent::CapacitySkew {
+                    entropy: 7,
+                    slow_pm: 500,
+                    factor: 4,
+                    deadline: 6,
+                    duration: 2,
+                },
+                DstEvent::HotspotBurst { initiator_rank: 3, entropy: 0xC0FFEE, count: 8 },
+                DstEvent::ArcPartition { start_pm: 100, span_pm: 300, duration: 2 },
+                DstEvent::Probe { initiator_rank: 5, point: 1 << 60 },
+                DstEvent::AdversarialJoin { jitter: 13 },
+                DstEvent::Heal,
+            ],
+        };
+        let report = run_schedule(&schedule).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.events, 7);
+    }
+
+    #[test]
+    fn minimal_fifo_guard_drill_fails_and_clean_one_passes() {
+        let base = Schedule {
+            seed: 7,
+            peers: 24,
+            items: 500,
+            replication: 0,
+            bug: None,
+            events: vec![
+                DstEvent::CapacitySkew {
+                    entropy: 11,
+                    slow_pm: 1000,
+                    factor: 6,
+                    deadline: 0,
+                    duration: 4,
+                },
+                DstEvent::HotspotBurst { initiator_rank: 2, entropy: 99, count: 12 },
+            ],
+        };
+        assert!(run_schedule(&base).is_ok(), "{:?}", run_schedule(&base).err());
+        let buggy = Schedule { bug: Some(InjectedBug::DropCapacityFifoGuard), ..base };
+        let failure = run_schedule(&buggy).expect_err("dropped guard must trip the FIFO oracle");
+        assert_eq!(failure.event_index, 1);
+        assert!(failure.violations.iter().any(|v| v.contains("reordering")), "{failure}");
+    }
+
+    #[test]
+    fn fifo_drill_shrinks_to_the_two_event_reproducer() {
+        let buggy = Schedule {
+            seed: 7,
+            peers: 24,
+            items: 500,
+            replication: 0,
+            bug: Some(InjectedBug::DropCapacityFifoGuard),
+            events: vec![
+                DstEvent::CapacitySkew {
+                    entropy: 11,
+                    slow_pm: 1000,
+                    factor: 6,
+                    deadline: 0,
+                    duration: 4,
+                },
+                DstEvent::HotspotBurst { initiator_rank: 2, entropy: 99, count: 12 },
+            ],
+        };
+        let shrunk = shrink(&buggy).expect("fails");
+        assert_eq!(shrunk.schedule.events, buggy.events, "already minimal");
     }
 
     #[test]

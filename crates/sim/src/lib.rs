@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod adversary;
 pub mod build;
 pub mod dst;
 pub mod exec;
@@ -33,4 +34,4 @@ pub use dst::{DstConfig, DstEvent, DstFailure, InjectedBug, Schedule};
 pub use exec::{CellResult, ExecPlan};
 pub use report::Table;
 pub use runner::{aggregate, aggregate_cell, run_estimator, AggregatedResult, RunResult};
-pub use scenario::{NodeLayout, PlacementMode, Scenario};
+pub use scenario::{CapacitySpec, NodeLayout, PartitionSpec, PlacementMode, Scenario};

@@ -21,6 +21,39 @@ pub enum NodeLayout {
     /// (Mercury, P-Ring). Arc length then anti-correlates with data density,
     /// the adversarial case for uncorrected ring-position sampling.
     LoadBalanced,
+    /// Deterministic worst-case placement: most peers are packed into the
+    /// sparsest data region (tiny, empty arcs) while a handful of peers
+    /// cover the dense region with giant arcs — the layout that maximizes
+    /// the bias of uncorrected (arc-uniform) stratified sampling. See
+    /// [`crate::adversary`]. Falls back to [`NodeLayout::UniformIds`] under
+    /// hashed placement, like [`NodeLayout::LoadBalanced`].
+    Adversarial,
+}
+
+/// The heterogeneous peer-capacity axis: a static fraction of peers is slow,
+/// scaling the delay of every message they send and (optionally) missing
+/// reply deadlines. Integer parameters keep the spec `Eq` and its `Debug`
+/// rendering — the snapshot-cache key — exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacitySpec {
+    /// Per-mille of peers in the slow class (e.g. 250 = 25%).
+    pub slow_pm: u32,
+    /// Delay multiplier for messages sent by slow peers (≥ 2 to matter).
+    pub factor: u64,
+    /// Reply deadline in delay units; a slow reply drawn above it surfaces
+    /// as a timeout. 0 = callers wait forever (pure delay scaling).
+    pub deadline: u64,
+}
+
+/// The spatially-correlated arc-partition axis: a contiguous arc of the ring
+/// is cut off from the rest. Positions are per-mille of the ring so the spec
+/// stays `Eq` and cache-key exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Arc start position, in per-mille of the ring (0..1000).
+    pub start_pm: u32,
+    /// Arc span, in per-mille of the ring (0 disables the partition).
+    pub span_pm: u32,
 }
 
 /// A complete, reproducible experiment scenario.
@@ -40,6 +73,14 @@ pub struct Scenario {
     pub layout: NodeLayout,
     /// Equi-depth buckets per probe reply.
     pub summary_buckets: usize,
+    /// Peers that join through the overlay back-to-back — within one
+    /// stabilization window, no repair rounds in between — right after the
+    /// bulk load, clustered on the densest data region (0 = off).
+    pub flash_crowd: usize,
+    /// Heterogeneous peer-capacity axis (`None` = homogeneous peers).
+    pub capacity: Option<CapacitySpec>,
+    /// Spatially-correlated arc partition (`None` = fully connected).
+    pub partition: Option<PartitionSpec>,
     /// Master seed: everything (ids, data, probes, churn) derives from it.
     pub seed: u64,
 }
@@ -56,6 +97,9 @@ impl Default for Scenario {
             placement: PlacementMode::Range,
             layout: NodeLayout::UniformIds,
             summary_buckets: 8,
+            flash_crowd: 0,
+            capacity: None,
+            partition: None,
             seed: 42,
         }
     }
@@ -98,6 +142,24 @@ impl Scenario {
         self
     }
 
+    /// Returns a copy with the given flash-crowd size.
+    pub fn with_flash_crowd(mut self, joiners: usize) -> Self {
+        self.flash_crowd = joiners;
+        self
+    }
+
+    /// Returns a copy with the given capacity axis.
+    pub fn with_capacity(mut self, c: CapacitySpec) -> Self {
+        self.capacity = Some(c);
+        self
+    }
+
+    /// Returns a copy with the given arc partition.
+    pub fn with_partition(mut self, p: PartitionSpec) -> Self {
+        self.partition = Some(p);
+        self
+    }
+
     /// Returns a copy with the given master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -135,6 +197,22 @@ mod tests {
         assert_eq!(s.placement, PlacementMode::Range);
         assert_eq!(s.layout, NodeLayout::UniformIds);
         assert_eq!(s.summary_buckets, 8);
+        assert_eq!(s.flash_crowd, 0);
+        assert_eq!(s.capacity, None);
+        assert_eq!(s.partition, None);
         assert_eq!(s, s.clone());
+    }
+
+    #[test]
+    fn adversarial_axis_builders_compose() {
+        let s = Scenario::default()
+            .with_flash_crowd(12)
+            .with_capacity(CapacitySpec { slow_pm: 250, factor: 4, deadline: 10 })
+            .with_partition(PartitionSpec { start_pm: 100, span_pm: 200 })
+            .with_layout(NodeLayout::Adversarial);
+        assert_eq!(s.flash_crowd, 12);
+        assert_eq!(s.capacity, Some(CapacitySpec { slow_pm: 250, factor: 4, deadline: 10 }));
+        assert_eq!(s.partition, Some(PartitionSpec { start_pm: 100, span_pm: 200 }));
+        assert_eq!(s.layout, NodeLayout::Adversarial);
     }
 }

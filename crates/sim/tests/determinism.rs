@@ -4,9 +4,10 @@
 //! This is the contract the parallel runner (`sim::exec`) is built around:
 //! cells derive all randomness from `(scenario.seed, Component, run_index)`
 //! and own their `BuiltScenario`, so scheduling order cannot leak into the
-//! tables. The four experiments here cover the main runner shapes — plain
-//! estimator grids (f1, f3), per-run self-building cells (f5), and cells
-//! with fault-plan setup closures (f11).
+//! tables. The experiments here cover the main runner shapes — plain
+//! estimator grids (f1, f3), per-run self-building cells (f5), cells with
+//! fault-plan setup closures (f11), and the adversarial axis pack whose
+//! fault plans and crowds ride in the scenario itself (f13).
 
 use dde_core::{DfDde, DfDdeConfig};
 use dde_sim::exec;
@@ -24,7 +25,7 @@ fn render(tables: &[Table]) -> (String, String) {
 /// global and libtest runs `#[test]`s concurrently.
 #[test]
 fn quick_suite_is_byte_identical_across_jobs() {
-    for id in ["f1", "f3", "f5", "f11"] {
+    for id in ["f1", "f3", "f5", "f11", "f13"] {
         exec::set_jobs(1);
         let serial = render(&run_by_id(id, Scale::Quick).expect("known id"));
 

@@ -66,6 +66,38 @@ fn injected_bug_is_caught_shrunk_and_replays_byte_identically() {
     assert_eq!(replayed.to_string(), found.shrunk_failure.to_string());
 }
 
+/// The second drill: the planted *delivery* bug (the capacity axis's
+/// per-link FIFO clamp dropped) must be caught by the always-on reordering
+/// oracle, shrink to a tiny installer-plus-traffic reproducer, and replay
+/// byte-identically — proving the adversarial event pack is wired through
+/// the same catch/shrink/replay loop as the membership drill above.
+#[test]
+fn fifo_guard_bug_is_caught_shrunk_and_replays_byte_identically() {
+    let cfg = DstConfig { bug: Some(InjectedBug::DropCapacityFifoGuard), ..DstConfig::default() };
+    let outcome = dst::fuzz(&cfg, SMOKE_SCHEDULES);
+    let found = outcome.failure.expect("planted delivery bug must surface within the smoke budget");
+
+    // The bug needs one CapacitySkew installer plus slow-link traffic, so a
+    // 1-minimal schedule is at most a handful of events.
+    assert!(
+        found.shrunk.events.len() <= 3,
+        "shrunk repro still has {} events:\n{}",
+        found.shrunk.events.len(),
+        dst::to_repro(&found.shrunk)
+    );
+    assert!(
+        found.shrunk_failure.violations.iter().any(|v| v.contains("reordering")),
+        "expected a FIFO violation, got:\n{}",
+        found.shrunk_failure
+    );
+
+    let text = dst::to_repro(&found.shrunk);
+    let parsed = dst::parse_repro(&text).expect("repro text parses back");
+    assert_eq!(parsed, found.shrunk);
+    let replayed = dst::run_schedule(&parsed).expect_err("repro must still fail");
+    assert_eq!(replayed.to_string(), found.shrunk_failure.to_string());
+}
+
 /// `fuzz` must report the same first failure (and shrink it to the same
 /// reproducer) regardless of worker count. Kept as a single test because
 /// the jobs knob is process-global.

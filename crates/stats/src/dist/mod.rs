@@ -14,6 +14,7 @@
 //! module.
 
 mod exponential;
+mod hotspot;
 mod lognormal;
 mod mixture;
 mod normal;
@@ -23,6 +24,7 @@ mod uniform;
 mod zipf;
 
 pub use exponential::Exponential;
+pub use hotspot::HotspotZipf;
 pub use lognormal::LogNormal;
 pub use mixture::Mixture;
 pub use normal::{erf, inv_norm_cdf, std_norm_cdf, Normal};
@@ -114,6 +116,17 @@ pub enum DistributionKind {
         /// Zipf exponent `s` (larger = more skew).
         exponent: f64,
     },
+    /// Zipf-distributed cell masses clustered into `arcs` contiguous hotspot
+    /// arcs (the adversarial "flash topic" workload; see
+    /// [`HotspotZipf`]).
+    HotspotZipf {
+        /// Number of equal-width cells.
+        cells: usize,
+        /// Zipf exponent `s` (larger = more skew).
+        exponent: f64,
+        /// Number of evenly-spaced hotspot arcs.
+        arcs: usize,
+    },
     /// Two-component Gaussian mixture (a classic "hard" multi-modal case).
     Bimodal,
     /// Three-component mixture with very unequal weights and scales.
@@ -143,6 +156,9 @@ impl DistributionKind {
             DistributionKind::Zipf { cells, exponent } => {
                 Box::new(Zipf::new(lo, hi, cells, exponent))
             }
+            DistributionKind::HotspotZipf { cells, exponent, arcs } => {
+                Box::new(HotspotZipf::new(lo, hi, cells, exponent, arcs))
+            }
             DistributionKind::Bimodal => {
                 let c1 = Truncated::new(Normal::new(lo + 0.25 * w, 0.06 * w), lo, hi);
                 let c2 = Truncated::new(Normal::new(lo + 0.72 * w, 0.10 * w), lo, hi);
@@ -169,6 +185,7 @@ impl DistributionKind {
             DistributionKind::Pareto { .. } => "pareto",
             DistributionKind::LogNormal { .. } => "lognormal",
             DistributionKind::Zipf { .. } => "zipf",
+            DistributionKind::HotspotZipf { .. } => "hotspot-zipf",
             DistributionKind::Bimodal => "bimodal",
             DistributionKind::Trimodal => "trimodal",
         }

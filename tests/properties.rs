@@ -40,6 +40,9 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             placement,
             layout,
             summary_buckets: buckets,
+            flash_crowd: 0,
+            capacity: None,
+            partition: None,
             seed,
         })
 }
