@@ -47,7 +47,7 @@ impl Fixture {
         let report = est
             .estimate(&mut self.built.net, initiator, &mut self.rng)
             .expect("healthy network estimates");
-        report.estimate.ks_to(&self.built.data_ecdf)
+        report.estimate.ks_to(&self.built.data_truth)
     }
 }
 

@@ -106,7 +106,7 @@ impl DensityEstimator for GossipAggregation {
                         .successors
                         .iter()
                         .copied()
-                        .chain(node.fingers.iter().flatten().copied())
+                        .chain(node.fingers.present())
                         .filter(|&n| n != id && net.is_alive(n))
                         .collect();
                     // Dedup: finger tables repeat nearby peers many times and

@@ -67,7 +67,7 @@ impl RandomWalkSampling {
             .successors
             .iter()
             .copied()
-            .chain(node.fingers.iter().flatten().copied())
+            .chain(node.fingers.present())
             .chain(node.predecessor)
             .filter(|&n| n != id && net.is_alive(n))
             .collect();

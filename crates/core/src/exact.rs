@@ -48,7 +48,7 @@ impl DensityEstimator for ExactAggregation {
             loop {
                 let node = net.node(cur).expect("walk reached dead node");
                 let summary = node.store.summary(net.summary_buckets());
-                let succs = node.successors.clone();
+                let succs = node.successors;
                 if cur != initiator {
                     // Fetching this peer's statistic: request + reply.
                     net.stats_mut().record(MessageKind::Probe, 8);

@@ -1,0 +1,588 @@
+//! Arena-backed per-peer routing state for the mega-scale regime.
+//!
+//! Before this module, every [`Node`] owned two heap allocations for routing
+//! state alone — a `Vec<RingId>` successor list and a ~1 KiB
+//! `Vec<Option<RingId>>` finger table — so a 10⁶-peer network cost two
+//! million small allocations before storing a single item, and building one
+//! re-derived each finger with an `O(log P)` binary search
+//! (`O(P · RING_BITS · log P)` total). This module replaces both:
+//!
+//! * [`SuccessorList`] — the successor list as an inline
+//!   `[RingId; SUCCESSOR_LIST_LEN]` plus a length, heap-free;
+//! * [`FingerTable`] — the finger table as an inline
+//!   `[RingId; RING_BITS]` plus a presence bitmask, heap-free;
+//! * [`RingArena`] — the slab that owns every node record. Together with the
+//!   id column kept by [`crate::index::NodeIndex`] this is the network's
+//!   columnar store: a dense sorted `Vec<RingId>` for search, and one
+//!   contiguous slab of fixed-size records for state. Forking a network
+//!   clones two flat vectors (data stores stay CoW behind their `Arc`s).
+//!
+//! [`RingArena::wire_perfect`] rebuilds *perfect* routing state in
+//! `O(P · RING_BITS)`: for a fixed finger level `f`, the targets
+//! `ids[i] + 2^f` are strictly increasing in `i`, so their owners are found
+//! with one monotone sweep over the (virtually doubled) id column instead of
+//! a binary search per finger.
+
+use crate::id::{RingId, RING_BITS};
+use crate::node::{Node, SUCCESSOR_LIST_LEN};
+
+/// A heap-free successor list: up to [`SUCCESSOR_LIST_LEN`] peer ids, inline.
+///
+/// Dereferences to a slice, so reads (`iter`, `contains`, `first`, indexing,
+/// `len`) look exactly like the `Vec<RingId>` it replaced. Mutations keep a
+/// normalization invariant — slots at and beyond `len` are `RingId(0)` — so
+/// the derived `PartialEq`/`Hash` compare logical contents and
+/// [`RingArena::check_columns`] can detect a corrupted length column.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SuccessorList {
+    ids: [RingId; SUCCESSOR_LIST_LEN],
+    len: u8,
+}
+
+impl SuccessorList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self { ids: [RingId(0); SUCCESSOR_LIST_LEN], len: 0 }
+    }
+
+    /// Appends `peer`.
+    ///
+    /// # Panics
+    /// Panics if the list is full — construction paths never exceed the
+    /// capacity; bounded insertion goes through [`Node::offer_successor`].
+    pub fn push(&mut self, peer: RingId) {
+        let len = self.len as usize;
+        assert!(len < SUCCESSOR_LIST_LEN, "successor list over capacity");
+        self.ids[len] = peer;
+        self.len += 1;
+    }
+
+    /// Keeps only the ids satisfying `pred`, preserving order.
+    pub fn retain(&mut self, mut pred: impl FnMut(&RingId) -> bool) {
+        let len = self.len as usize;
+        let mut kept = 0;
+        for i in 0..len {
+            if pred(&self.ids[i]) {
+                self.ids[kept] = self.ids[i];
+                kept += 1;
+            }
+        }
+        for slot in &mut self.ids[kept..len] {
+            *slot = RingId(0);
+        }
+        self.len = kept as u8;
+    }
+
+    /// Shortens the list to at most `n` ids.
+    pub fn truncate(&mut self, n: usize) {
+        let len = self.len as usize;
+        if n < len {
+            for slot in &mut self.ids[n..len] {
+                *slot = RingId(0);
+            }
+            self.len = n as u8;
+        }
+    }
+
+    /// Removes and returns the id at `idx`, shifting the tail left.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn remove(&mut self, idx: usize) -> RingId {
+        let len = self.len as usize;
+        assert!(idx < len, "remove index {idx} out of bounds (len {len})");
+        let removed = self.ids[idx];
+        self.ids.copy_within(idx + 1..len, idx);
+        self.ids[len - 1] = RingId(0);
+        self.len -= 1;
+        removed
+    }
+
+    /// Replays the historical offer semantics (append if absent, stable-sort
+    /// by clockwise distance from `me`, truncate to capacity) on a stack
+    /// scratch buffer. Distance from a fixed origin is injective, so the
+    /// sorted order is unique and an unstable sort is equivalent.
+    pub(crate) fn offer_by_distance(&mut self, me: RingId, peer: RingId) {
+        let len = self.len as usize;
+        let mut scratch = [RingId(0); SUCCESSOR_LIST_LEN + 1];
+        scratch[..len].copy_from_slice(&self.ids[..len]);
+        let mut m = len;
+        if !scratch[..len].contains(&peer) {
+            scratch[m] = peer;
+            m += 1;
+        }
+        scratch[..m].sort_unstable_by_key(|&s| me.distance_to(s));
+        let keep = m.min(SUCCESSOR_LIST_LEN);
+        self.ids[..keep].copy_from_slice(&scratch[..keep]);
+        for slot in &mut self.ids[keep..] {
+            *slot = RingId(0);
+        }
+        self.len = keep as u8;
+    }
+
+    /// Internal invariant check: length in bounds and vacated slots
+    /// normalized to `RingId(0)`.
+    fn check_shape(&self) -> Result<(), String> {
+        let len = self.len as usize;
+        if len > SUCCESSOR_LIST_LEN {
+            return Err(format!("successor length column {len} > {SUCCESSOR_LIST_LEN}"));
+        }
+        if let Some(junk) = self.ids[len..].iter().find(|&&s| s != RingId(0)) {
+            return Err(format!("successor slot beyond len {len} holds {junk}"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SuccessorList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for SuccessorList {
+    type Target = [RingId];
+
+    fn deref(&self) -> &[RingId] {
+        &self.ids[..self.len as usize]
+    }
+}
+
+impl<const N: usize> From<[RingId; N]> for SuccessorList {
+    fn from(ids: [RingId; N]) -> Self {
+        let mut list = Self::new();
+        for id in ids {
+            list.push(id);
+        }
+        list
+    }
+}
+
+impl FromIterator<RingId> for SuccessorList {
+    fn from_iter<I: IntoIterator<Item = RingId>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for id in iter {
+            list.push(id);
+        }
+        list
+    }
+}
+
+impl IntoIterator for SuccessorList {
+    type Item = RingId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<RingId, SUCCESSOR_LIST_LEN>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a SuccessorList {
+    type Item = &'a RingId;
+    type IntoIter = std::slice::Iter<'a, RingId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl PartialEq<Vec<RingId>> for SuccessorList {
+    fn eq(&self, other: &Vec<RingId>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::fmt::Debug for SuccessorList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// A heap-free finger table: [`RING_BITS`] inline targets plus a presence
+/// bitmask (`fingers[i] ≈ successor(id + 2^i)`, absent when the last refresh
+/// failed).
+///
+/// Absent slots keep their target normalized to `RingId(0)` so the derived
+/// `PartialEq` compares logical contents and [`RingArena::check_columns`]
+/// can detect a target/bitmask desync.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct FingerTable {
+    targets: [RingId; RING_BITS as usize],
+    mask: u64,
+}
+
+impl FingerTable {
+    /// An empty table (every finger absent).
+    pub fn new() -> Self {
+        Self { targets: [RingId(0); RING_BITS as usize], mask: 0 }
+    }
+
+    /// The finger at level `i`, if set.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<RingId> {
+        if self.mask & (1u64 << i) != 0 {
+            Some(self.targets[i])
+        } else {
+            None
+        }
+    }
+
+    /// Sets or clears the finger at level `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, target: Option<RingId>) {
+        match target {
+            Some(t) => {
+                self.targets[i] = t;
+                self.mask |= 1u64 << i;
+            }
+            None => {
+                self.targets[i] = RingId(0);
+                self.mask &= !(1u64 << i);
+            }
+        }
+    }
+
+    /// The set fingers in level order (the replacement for the old
+    /// `fingers.iter().flatten()`); allocation-free.
+    pub fn present(&self) -> impl Iterator<Item = RingId> + '_ {
+        let mask = self.mask;
+        (0..RING_BITS as usize)
+            .filter(move |i| mask & (1u64 << i) != 0)
+            .map(move |i| self.targets[i])
+    }
+
+    /// Clears every finger pointing at `dead`.
+    pub fn forget(&mut self, dead: RingId) {
+        for i in 0..RING_BITS as usize {
+            if self.mask & (1u64 << i) != 0 && self.targets[i] == dead {
+                self.set(i, None);
+            }
+        }
+    }
+
+    /// Internal invariant check: absent slots normalized to `RingId(0)`.
+    fn check_shape(&self) -> Result<(), String> {
+        for i in 0..RING_BITS as usize {
+            if self.mask & (1u64 << i) == 0 && self.targets[i] != RingId(0) {
+                return Err(format!("finger {i} absent in mask but targets {}", self.targets[i]));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FingerTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FingerTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries((0..RING_BITS as usize).filter_map(|i| self.get(i).map(|t| (i, t))))
+            .finish()
+    }
+}
+
+/// The slab owning every node record, kept in ring (ascending id) order in
+/// lockstep with the id column held by [`crate::index::NodeIndex`].
+///
+/// Records are fixed-size (successors and fingers inline, store and replica
+/// payloads behind CoW handles), so the slab is one contiguous allocation
+/// and positional access never chases a pointer.
+#[derive(Debug, Clone, Default)]
+pub struct RingArena {
+    slots: Vec<Node>,
+}
+
+impl RingArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena with room for `n` records.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { slots: Vec::with_capacity(n) }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the arena holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The record at position `i`.
+    #[inline]
+    pub fn slot(&self, i: usize) -> &Node {
+        &self.slots[i]
+    }
+
+    /// Mutable access to the record at position `i`.
+    #[inline]
+    pub fn slot_mut(&mut self, i: usize) -> &mut Node {
+        &mut self.slots[i]
+    }
+
+    /// Appends a record (bulk construction: ids arrive pre-sorted).
+    pub fn push(&mut self, node: Node) {
+        self.slots.push(node);
+    }
+
+    /// Inserts a record at position `i` (incremental join: `O(P)` memmove).
+    pub fn insert(&mut self, i: usize, node: Node) {
+        self.slots.insert(i, node);
+    }
+
+    /// Removes and returns the record at position `i`.
+    pub fn remove(&mut self, i: usize) -> Node {
+        self.slots.remove(i)
+    }
+
+    /// Replaces the record at position `i`, returning the old one.
+    pub fn replace(&mut self, i: usize, node: Node) -> Node {
+        std::mem::replace(&mut self.slots[i], node)
+    }
+
+    /// Records in ring order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Node> {
+        self.slots.iter()
+    }
+
+    /// Mutable records in ring order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Node> {
+        self.slots.iter_mut()
+    }
+
+    /// Resets every record's routing state to the perfect steady state for
+    /// the id column `keys`, in `O(P · RING_BITS)`.
+    ///
+    /// Successors and predecessors read straight off ring order. Fingers use
+    /// a monotone sweep per level: for fixed `f` the (un-wrapped) targets
+    /// `keys[i] + 2^f` are strictly increasing, so the owning position in
+    /// the virtually doubled column `[keys[0], …, keys[p-1], keys[0]+2^64, …]`
+    /// only ever advances. Output is bit-identical to the per-finger
+    /// `true_owner` binary search it replaced.
+    ///
+    /// # Panics
+    /// Panics if `keys` and the arena disagree in length (the columns are
+    /// out of lockstep).
+    pub fn wire_perfect(&mut self, keys: &[RingId]) {
+        let p = keys.len();
+        assert_eq!(p, self.slots.len(), "id column and arena out of lockstep");
+        if p == 0 {
+            return;
+        }
+        for (i, node) in self.slots.iter_mut().enumerate() {
+            node.predecessor = Some(keys[(i + p - 1) % p]);
+            let mut succs = SuccessorList::new();
+            for k in 1..=SUCCESSOR_LIST_LEN.min(p - 1).max(1) {
+                succs.push(keys[(i + k) % p]);
+            }
+            node.successors = succs;
+            node.fingers = FingerTable::new();
+        }
+        let wrap = 1u128 << RING_BITS;
+        let virt = |j: usize| -> u128 {
+            if j < p {
+                u128::from(keys[j].0)
+            } else {
+                u128::from(keys[j - p].0) + wrap
+            }
+        };
+        for f in 0..RING_BITS as usize {
+            let step = 1u128 << f;
+            let mut j = 0usize;
+            for i in 0..p {
+                let target = u128::from(keys[i].0) + step;
+                while j < 2 * p && virt(j) < target {
+                    j += 1;
+                }
+                // j == 2p can only mean the target wrapped past the top of
+                // the doubled column; ownership wraps to the first peer.
+                let owner = keys[if j < 2 * p { j % p } else { 0 }];
+                self.slots[i].fingers.set(f, Some(owner));
+            }
+        }
+    }
+
+    /// Column-consistency oracle for the DST harness: the id column and the
+    /// record slab must be in lockstep (same length, strictly sorted ids,
+    /// record id matching its column entry) and every inline list must be
+    /// shape-valid (length in bounds, vacated slots normalized). Returns a
+    /// list of violations (empty = consistent).
+    pub fn check_columns(&self, keys: &[RingId]) -> Vec<String> {
+        let mut violations = Vec::new();
+        if keys.len() != self.slots.len() {
+            violations.push(format!(
+                "id column has {} entries but arena has {} records",
+                keys.len(),
+                self.slots.len()
+            ));
+            return violations;
+        }
+        for (i, (&key, node)) in keys.iter().zip(self.slots.iter()).enumerate() {
+            if node.id != key {
+                violations.push(format!("column desync at {i}: key {key} vs record {}", node.id));
+            }
+            if i + 1 < keys.len() && keys[i] >= keys[i + 1] {
+                violations.push(format!("id column not strictly sorted at {i}"));
+            }
+            if let Err(e) = node.successors.check_shape() {
+                violations.push(format!("{key}: {e}"));
+            }
+            if let Err(e) = node.fingers.check_shape() {
+                violations.push(format!("{key}: {e}"));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_list_mirrors_vec_semantics() {
+        let mut list = SuccessorList::new();
+        assert!(list.is_empty());
+        list.push(RingId(5));
+        list.push(RingId(9));
+        list.push(RingId(12));
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.first(), Some(&RingId(5)));
+        assert!(list.contains(&RingId(9)));
+        assert_eq!(list, vec![RingId(5), RingId(9), RingId(12)]);
+        assert_eq!(list.remove(0), RingId(5));
+        assert_eq!(list, vec![RingId(9), RingId(12)]);
+        list.retain(|&s| s != RingId(12));
+        assert_eq!(list, vec![RingId(9)]);
+        list.truncate(0);
+        assert!(list.is_empty());
+        assert_eq!(list, SuccessorList::new());
+    }
+
+    #[test]
+    fn successor_list_normalizes_vacated_slots() {
+        let mut a: SuccessorList = [RingId(3), RingId(7), RingId(11)].into();
+        a.remove(1);
+        a.check_shape().expect("normalized after remove");
+        a.retain(|&s| s != RingId(3));
+        a.check_shape().expect("normalized after retain");
+        // Logical equality ignores history: a list built directly compares equal.
+        let b: SuccessorList = [RingId(11)].into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn successor_list_push_guards_capacity() {
+        let mut list = SuccessorList::new();
+        for i in 0..=SUCCESSOR_LIST_LEN as u64 {
+            list.push(RingId(i));
+        }
+    }
+
+    #[test]
+    fn offer_by_distance_matches_push_sort_truncate() {
+        // Replay of the historical Vec semantics, including on a list that
+        // is not distance-sorted (stale joins can produce those).
+        let me = RingId(50);
+        let mut list: SuccessorList = [RingId(100), RingId(10), RingId(60)].into();
+        let mut reference: Vec<RingId> = vec![RingId(100), RingId(10), RingId(60)];
+        for peer in [RingId(55), RingId(10), RingId(49), RingId(51), RingId(90), RingId(200)] {
+            list.offer_by_distance(me, peer);
+            if !reference.contains(&peer) {
+                reference.push(peer);
+            }
+            reference.sort_by_key(|&s| me.distance_to(s));
+            reference.truncate(SUCCESSOR_LIST_LEN);
+            assert_eq!(list, reference, "after offering {peer}");
+        }
+    }
+
+    #[test]
+    fn finger_table_set_get_present() {
+        let mut t = FingerTable::new();
+        assert_eq!(t.get(0), None);
+        t.set(4, Some(RingId(16)));
+        t.set(6, Some(RingId(64)));
+        t.set(63, Some(RingId(1)));
+        assert_eq!(t.get(4), Some(RingId(16)));
+        assert_eq!(t.present().collect::<Vec<_>>(), vec![RingId(16), RingId(64), RingId(1)]);
+        t.set(4, None);
+        assert_eq!(t.get(4), None);
+        t.forget(RingId(64));
+        assert_eq!(t.present().collect::<Vec<_>>(), vec![RingId(1)]);
+        t.check_shape().expect("normalized");
+    }
+
+    #[test]
+    fn wire_perfect_matches_binary_search_owners() {
+        // Adversarially bunched ids plus wraparound coverage.
+        let mut keys: Vec<RingId> = vec![
+            RingId(3),
+            RingId(5),
+            RingId(6),
+            RingId(1 << 20),
+            RingId(u64::MAX / 2),
+            RingId(u64::MAX - 4),
+            RingId(u64::MAX - 3),
+            RingId(u64::MAX),
+        ];
+        keys.sort();
+        let mut arena = RingArena::new();
+        for &k in &keys {
+            arena.push(Node::new(k));
+        }
+        arena.wire_perfect(&keys);
+        let true_owner = |t: RingId| -> RingId {
+            let pos = keys.partition_point(|&k| k < t);
+            keys[if pos == keys.len() { 0 } else { pos }]
+        };
+        for (i, &id) in keys.iter().enumerate() {
+            let node = arena.slot(i);
+            for f in 0..RING_BITS {
+                assert_eq!(
+                    node.fingers.get(f as usize),
+                    Some(true_owner(id.finger_start(f))),
+                    "node {id} finger {f}"
+                );
+            }
+            assert_eq!(node.predecessor, Some(keys[(i + keys.len() - 1) % keys.len()]));
+            assert_eq!(node.successor(), Some(keys[(i + 1) % keys.len()]));
+        }
+        assert!(arena.check_columns(&keys).is_empty());
+    }
+
+    #[test]
+    fn wire_perfect_single_node_points_at_itself() {
+        let keys = vec![RingId(42)];
+        let mut arena = RingArena::new();
+        arena.push(Node::new(RingId(42)));
+        arena.wire_perfect(&keys);
+        let node = arena.slot(0);
+        assert_eq!(node.predecessor, Some(RingId(42)));
+        assert_eq!(node.successor(), Some(RingId(42)));
+        for f in 0..RING_BITS as usize {
+            assert_eq!(node.fingers.get(f), Some(RingId(42)));
+        }
+    }
+
+    #[test]
+    fn check_columns_flags_desync() {
+        let keys = vec![RingId(10), RingId(20)];
+        let mut arena = RingArena::new();
+        arena.push(Node::new(RingId(10)));
+        arena.push(Node::new(RingId(99))); // record disagrees with column
+        let violations = arena.check_columns(&keys);
+        assert!(violations.iter().any(|v| v.contains("column desync")), "{violations:?}");
+        assert!(arena.check_columns(&keys[..1]).iter().any(|v| v.contains("entries")));
+    }
+}

@@ -11,20 +11,52 @@
 //! Inserts and removes are `O(n)` memmoves — fine here, because membership
 //! changes are orders of magnitude rarer than lookup hops.
 
+use crate::arena::RingArena;
 use crate::id::RingId;
 use crate::node::Node;
 
 /// Alive peers, keyed by ring id, in ring (ascending id) order.
+///
+/// The id column (`keys`) is a dense sorted `Vec<RingId>`; the node records
+/// live in a [`RingArena`] slab kept in lockstep. See [`crate::arena`] for
+/// the memory model.
 #[derive(Debug, Clone, Default)]
 pub struct NodeIndex {
     keys: Vec<RingId>,
-    nodes: Vec<Node>,
+    arena: RingArena,
 }
 
 impl NodeIndex {
     /// An empty index.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds an index of fresh (unwired) nodes from a strictly sorted id
+    /// column in O(P) — the bulk-construction entry point, skipping the
+    /// per-insert binary search and memmove of [`NodeIndex::insert`].
+    ///
+    /// # Panics
+    /// Panics if `ids` is not strictly ascending.
+    pub fn from_sorted_ids(ids: &[RingId]) -> Self {
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly sorted");
+        let mut arena = RingArena::with_capacity(ids.len());
+        for &id in ids {
+            arena.push(Node::new(id));
+        }
+        Self { keys: ids.to_vec(), arena }
+    }
+
+    /// Resets every node's routing state to the perfect steady state in
+    /// `O(P · RING_BITS)` (see [`RingArena::wire_perfect`]).
+    pub fn rewire_perfect(&mut self) {
+        self.arena.wire_perfect(&self.keys);
+    }
+
+    /// Column-consistency oracle: id column and arena in lockstep, inline
+    /// lists shape-valid (see [`RingArena::check_columns`]).
+    pub fn check_columns(&self) -> Vec<String> {
+        self.arena.check_columns(&self.keys)
     }
 
     /// Number of peers.
@@ -56,23 +88,23 @@ impl NodeIndex {
     /// The node with `id`, if present.
     #[inline]
     pub fn get(&self, id: &RingId) -> Option<&Node> {
-        self.position(*id).ok().map(|i| &self.nodes[i])
+        self.position(*id).ok().map(|i| self.arena.slot(i))
     }
 
     /// Mutable access to the node with `id`, if present.
     #[inline]
     pub fn get_mut(&mut self, id: &RingId) -> Option<&mut Node> {
-        self.position(*id).ok().map(|i| &mut self.nodes[i])
+        self.position(*id).ok().map(|i| self.arena.slot_mut(i))
     }
 
     /// Inserts `node` under `id`, returning the displaced node if `id` was
     /// already present.
     pub fn insert(&mut self, id: RingId, node: Node) -> Option<Node> {
         match self.position(id) {
-            Ok(i) => Some(std::mem::replace(&mut self.nodes[i], node)),
+            Ok(i) => Some(self.arena.replace(i, node)),
             Err(i) => {
                 self.keys.insert(i, id);
-                self.nodes.insert(i, node);
+                self.arena.insert(i, node);
                 None
             }
         }
@@ -83,7 +115,7 @@ impl NodeIndex {
         match self.position(*id) {
             Ok(i) => {
                 self.keys.remove(i);
-                Some(self.nodes.remove(i))
+                Some(self.arena.remove(i))
             }
             Err(_) => None,
         }
@@ -96,17 +128,17 @@ impl NodeIndex {
 
     /// Nodes in ring order.
     pub fn values(&self) -> std::slice::Iter<'_, Node> {
-        self.nodes.iter()
+        self.arena.iter()
     }
 
     /// Mutable nodes in ring order.
     pub fn values_mut(&mut self) -> std::slice::IterMut<'_, Node> {
-        self.nodes.iter_mut()
+        self.arena.iter_mut()
     }
 
     /// `(id, node)` pairs in ring order.
     pub fn iter(&self) -> impl Iterator<Item = (&RingId, &Node)> {
-        self.keys.iter().zip(self.nodes.iter())
+        self.keys.iter().zip(self.arena.iter())
     }
 
     /// The id at ring-order position `idx` (O(1); random-peer draws).
@@ -119,7 +151,7 @@ impl NodeIndex {
     /// # Panics
     /// Panics if `idx` is out of bounds.
     pub fn node_at_mut(&mut self, idx: usize) -> &mut Node {
-        &mut self.nodes[idx]
+        self.arena.slot_mut(idx)
     }
 
     /// Ring-order position of the first peer with id `>= t`, wrapping to 0
@@ -154,7 +186,7 @@ impl<'a> IntoIterator for &'a NodeIndex {
     type IntoIter = std::iter::Zip<std::slice::Iter<'a, RingId>, std::slice::Iter<'a, Node>>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.keys.iter().zip(self.nodes.iter())
+        self.keys.iter().zip(self.arena.iter())
     }
 }
 
@@ -221,6 +253,25 @@ mod tests {
         assert_eq!(n.first_after(RingId(20)), Some(RingId(30)));
         assert_eq!(n.first_after(RingId(30)), None); // strict, no wrap
         assert_eq!(n.first(), Some(RingId(10)));
+    }
+
+    #[test]
+    fn from_sorted_ids_matches_incremental_inserts() {
+        let ids: Vec<RingId> = [10u64, 20, 30, 90].iter().map(|&i| RingId(i)).collect();
+        let bulk = NodeIndex::from_sorted_ids(&ids);
+        let incremental = idx(&[90, 20, 10, 30]);
+        assert_eq!(bulk.len(), incremental.len());
+        for (&k, node) in &bulk {
+            assert_eq!(node.id, k);
+            assert!(incremental.contains_key(&k));
+        }
+        assert!(bulk.check_columns().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn from_sorted_ids_rejects_unsorted() {
+        let _ = NodeIndex::from_sorted_ids(&[RingId(20), RingId(10)]);
     }
 
     #[test]

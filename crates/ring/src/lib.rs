@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arena;
 pub mod churn;
 pub mod faults;
 pub mod id;
@@ -54,6 +55,7 @@ pub mod query;
 pub mod replication;
 pub mod store;
 
+pub use arena::{FingerTable, RingArena, SuccessorList};
 pub use churn::{ChurnConfig, ChurnProcess};
 pub use faults::{DelayDist, FaultDecision, FaultPlan};
 pub use id::RingId;

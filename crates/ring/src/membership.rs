@@ -5,6 +5,7 @@
 //! consult ground truth except where a real system would have out-of-band
 //! knowledge (a joining node knowing one bootstrap peer).
 
+use crate::arena::SuccessorList;
 use crate::id::{RingId, RING_BITS};
 use crate::messages::MessageKind;
 use crate::network::{LookupError, Network};
@@ -62,10 +63,21 @@ impl Network {
             .expect("invariant: lookup returned this owner, so it is in the alive map");
         let old_pred = succ.predecessor;
         // Seed routing state from the successor (1 state-transfer message).
-        let seeded_fingers = succ.fingers.clone();
-        let mut succ_list = vec![succ_id];
-        succ_list.extend(succ.successors.iter().copied().filter(|&s| s != new_id));
-        succ_list.truncate(SUCCESSOR_LIST_LEN);
+        let seeded_fingers = succ.fingers;
+        let mut succ_list = SuccessorList::new();
+        succ_list.push(succ_id);
+        for s in succ.successors.iter().copied() {
+            if succ_list.len() == SUCCESSOR_LIST_LEN {
+                break;
+            }
+            // A bootstrap-singleton successor lists *itself* (the only legal
+            // self-entry, from the 1-peer wiring); copying it — or copying
+            // `succ_id` twice — would seed a corrupt list.
+            if s == new_id || s == succ_id || succ_list.contains(&s) {
+                continue;
+            }
+            succ_list.push(s);
+        }
         self.stats.record(MessageKind::Stabilize, 8 * (1 + succ_list.len()));
 
         let mut node = Node::new(new_id);
@@ -81,6 +93,10 @@ impl Network {
             .get_mut(&succ_id)
             .expect("invariant: lookup returned this owner, so it is in the alive map");
         let moved = succ_node.store.drain_by(|x| placement.place(x).in_arc(pred_for_arc, new_id));
+        // A bootstrap singleton's self-successor sits at arc distance 0, so
+        // offers can never displace it and stabilization would freeze on a
+        // corrupt head; purge it now that the ring has a second peer.
+        succ_node.successors.retain(|&s| s != succ_id);
         succ_node.predecessor = Some(new_id);
         self.stats.record(MessageKind::Handoff, 8 * moved.len());
         node.store.extend_values(moved);
@@ -188,7 +204,7 @@ impl Network {
             self.observe_timeout(MessageKind::LookupTimeout);
             corrections += 1;
         }
-        let succs: Vec<RingId> =
+        let succs: SuccessorList =
             snap[..snap_len].iter().copied().filter(|&s| self.is_alive(s)).collect();
         let mut succ = match alive_succ {
             Some(s) => s,
@@ -202,16 +218,14 @@ impl Network {
                 self.nodes
                     .get_mut(&id)
                     .expect("invariant: id was taken from the alive map in this same pass")
-                    .successors = succs.clone();
+                    .successors = succs;
                 let node = self
                     .nodes
                     .get(&id)
                     .expect("invariant: id was taken from the alive map in this same pass");
                 let fallback = node
                     .fingers
-                    .iter()
-                    .flatten()
-                    .copied()
+                    .present()
                     .chain(node.predecessor)
                     .find(|&f| f != id && self.is_alive(f));
                 match fallback {
@@ -374,9 +388,8 @@ impl Network {
                         .nodes
                         .get_mut(&id)
                         .expect("invariant: id was taken from the alive map in this same pass");
-                    let slot = &mut node.fingers[cursor as usize];
-                    if *slot != Some(res.owner) {
-                        *slot = Some(res.owner);
+                    if node.fingers.get(cursor as usize) != Some(res.owner) {
+                        node.fingers.set(cursor as usize, Some(res.owner));
                         corrections += 1;
                     }
                 }
@@ -385,7 +398,7 @@ impl Network {
                         .nodes
                         .get_mut(&id)
                         .expect("invariant: id was taken from the alive map in this same pass");
-                    node.fingers[cursor as usize] = None;
+                    node.fingers.set(cursor as usize, None);
                 }
             }
         }
@@ -510,6 +523,35 @@ mod tests {
         let moved = net.node(new_id).unwrap().store.values().to_vec();
         assert_eq!(moved, vec![30.0]);
         assert_eq!(net.total_items(), 5); // nothing lost
+        assert!(net.check_invariants().is_empty(), "{:?}", net.check_invariants());
+    }
+
+    #[test]
+    fn ring_grown_from_a_singleton_bootstrap_converges() {
+        // The canonical Chord bootstrap: one seed peer (whose successor is
+        // itself — the only legal self-entry), then every other peer joins
+        // through it. The seed's self-successor sits at arc distance 0, so
+        // unless `join` purges it, offers can never displace it and
+        // stabilization freezes on a corrupt head forever.
+        let mut net = net_of(&[500]);
+        for id in [100u64, 200, 300, 400, 600, 700, 800, 900] {
+            net.join(RingId(id), RingId(500)).unwrap();
+        }
+        for _ in 0..48 {
+            net.stabilize_round();
+        }
+        let mut clean = 0;
+        for round in 0.. {
+            assert!(round < 96, "never quiesced: stuck on a corrupt successor head");
+            clean = if net.stabilize_round() == 0 { clean + 1 } else { 0 };
+            if clean == 16 {
+                break;
+            }
+        }
+        for id in net.ids().collect::<Vec<_>>() {
+            let n = net.node(id).unwrap();
+            assert!(!n.successors.contains(&id), "{id} lists itself as successor");
+        }
         assert!(net.check_invariants().is_empty(), "{:?}", net.check_invariants());
     }
 

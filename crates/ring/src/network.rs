@@ -7,7 +7,7 @@
 //! simulation.
 
 use crate::faults::{FaultDecision, FaultPlan};
-use crate::id::{RingId, RING_BITS};
+use crate::id::RingId;
 use crate::index::NodeIndex;
 use crate::messages::{MessageKind, MessageStats};
 use crate::node::{Node, RouteBuf, SUCCESSOR_LIST_LEN};
@@ -258,40 +258,83 @@ impl Network {
 
     /// Builds a network of the given peers with **perfect** routing state
     /// (the steady state Chord stabilization converges to). Construction is
-    /// free of message charges.
+    /// free of message charges. Delegates to [`Network::build_bulk`].
     ///
     /// # Panics
-    /// Panics if `ids` is empty or contains duplicates.
-    pub fn build(mut ids: Vec<RingId>, placement: Placement) -> Self {
+    /// Panics if `ids` is empty.
+    pub fn build(ids: Vec<RingId>, placement: Placement) -> Self {
+        Self::build_bulk(ids, placement)
+    }
+
+    /// O(P) bulk construction for pre-built networks: sorts the id column
+    /// once, appends node records in order (no per-insert binary search or
+    /// memmove), and wires successors/fingers directly with the monotone
+    /// per-level sweep ([`crate::arena::RingArena::wire_perfect`]) instead
+    /// of per-join stabilization. Equivalence with the incremental join
+    /// path is property-tested in `crates/sim/tests/bulk_equivalence.rs`.
+    ///
+    /// # Panics
+    /// Panics if `ids` is empty (duplicates are dropped).
+    pub fn build_bulk(mut ids: Vec<RingId>, placement: Placement) -> Self {
         assert!(!ids.is_empty(), "cannot build an empty network");
         ids.sort();
         ids.dedup();
         let mut net = Self::new(placement);
-        for &id in &ids {
-            net.nodes.insert(id, Node::new(id));
-        }
-        net.rewire_perfectly();
+        net.nodes = NodeIndex::from_sorted_ids(&ids);
+        net.nodes.rewire_perfect();
         net
     }
 
     /// Resets every node's routing state to ground truth (used at build time
-    /// and by tests; **not** by the protocol paths).
+    /// and by tests; **not** by the protocol paths) in `O(P · RING_BITS)`.
     pub fn rewire_perfectly(&mut self) {
-        let ids: Vec<RingId> = self.nodes.keys().copied().collect();
-        let p = ids.len();
-        for (i, &id) in ids.iter().enumerate() {
-            let pred = ids[(i + p - 1) % p];
-            let succs: Vec<RingId> =
-                (1..=SUCCESSOR_LIST_LEN.min(p - 1).max(1)).map(|k| ids[(i + k) % p]).collect();
-            let mut fingers = vec![None; RING_BITS as usize];
-            for (f, slot) in fingers.iter_mut().enumerate() {
-                *slot = Some(self.true_owner(id.finger_start(f as u32)));
-            }
-            let node = self.nodes.get_mut(&id).expect("listed id");
-            node.predecessor = if p > 1 { Some(pred) } else { Some(id) };
-            node.successors = if p > 1 { succs } else { vec![id] };
-            node.fingers = fingers;
+        self.nodes.rewire_perfect();
+    }
+
+    /// Admits a coordinated block of new peers at once (a provisioned
+    /// capacity expansion, not a churn storm): inserts every not-yet-taken
+    /// id, rewires the whole ring perfectly in `O(P · RING_BITS)`, and
+    /// re-homes items to their new true owners. Charges one state transfer
+    /// per admitted peer plus handoff bytes per moved item; returns the
+    /// number of peers admitted. The DST harness drives this through its
+    /// `BulkJoinBlock` event to fuzz arena-backed bulk wiring.
+    pub fn bulk_join(&mut self, new_ids: &[RingId]) -> usize {
+        let mut added: Vec<RingId> =
+            new_ids.iter().copied().filter(|&id| !self.is_alive(id)).collect();
+        added.sort();
+        added.dedup();
+        if added.is_empty() {
+            return 0;
         }
+        self.bump_epoch();
+        for &id in &added {
+            self.nodes.insert(id, Node::new(id));
+            self.finger_cursor.insert(id, 0);
+        }
+        self.nodes.rewire_perfect();
+        // Re-home misplaced items: with perfect arcs the placement map fully
+        // determines ownership, so one drain + redistribute pass lands
+        // everything (charged as handoff bytes, like the join data handoff).
+        let p = self.nodes.len();
+        let placement = self.placement;
+        let mut moved: Vec<f64> = Vec::new();
+        for pos in 0..p {
+            let id = self.nodes.key_at(pos).expect("in range");
+            let pred = self.nodes.key_at((pos + p - 1) % p).expect("in range");
+            moved.extend(
+                self.nodes
+                    .node_at_mut(pos)
+                    .store
+                    .drain_by(|x| !placement.place(x).in_arc(pred, id)),
+            );
+        }
+        if !moved.is_empty() {
+            self.stats.record(MessageKind::Handoff, 8 * moved.len());
+            self.bulk_load(&moved);
+        }
+        let slen = SUCCESSOR_LIST_LEN.min(p - 1).max(1);
+        self.stats.record(MessageKind::Stabilize, 8 * (1 + slen) * added.len());
+        added.len()
     }
 
     /// Number of alive peers.
@@ -784,7 +827,10 @@ impl Network {
     ///   round, each entry living at most `lease + 1` rounds).
     pub fn check_local_invariants(&self) -> Vec<String> {
         use crate::replication::REPLICA_LEASE_ROUNDS;
-        let mut violations = Vec::new();
+        // Arena/column consistency first: the id column, the record slab,
+        // and every inline list must be structurally sound before any
+        // protocol-level property is worth checking.
+        let mut violations = self.nodes.check_columns();
         let p = self.nodes.len();
         let mut holders: BTreeMap<RingId, usize> = BTreeMap::new();
         for (&id, node) in &self.nodes {

@@ -1,5 +1,6 @@
 //! Per-peer routing state (the Chord node).
 
+use crate::arena::{FingerTable, SuccessorList};
 use crate::id::{RingId, RING_BITS};
 use crate::store::LocalStore;
 use std::collections::BTreeMap;
@@ -77,10 +78,11 @@ pub struct Node {
     /// Believed predecessor (defines the owned arc `(predecessor, id]`).
     pub predecessor: Option<RingId>,
     /// Believed successors, nearest first; `successors[0]` is *the*
-    /// successor.
-    pub successors: Vec<RingId>,
-    /// Finger table: `fingers[i]` ≈ `successor(id + 2^i)`.
-    pub fingers: Vec<Option<RingId>>,
+    /// successor. Inline (heap-free) — see [`crate::arena`].
+    pub successors: SuccessorList,
+    /// Finger table: `fingers.get(i)` ≈ `successor(id + 2^i)`. Inline
+    /// (heap-free) — see [`crate::arena`].
+    pub fingers: FingerTable,
     /// The peer's local data (primary copies).
     pub store: LocalStore,
     /// Replicas held on behalf of other peers, keyed by the primary's id,
@@ -95,8 +97,8 @@ impl Node {
         Self {
             id,
             predecessor: None,
-            successors: Vec::new(),
-            fingers: vec![None; RING_BITS as usize],
+            successors: SuccessorList::new(),
+            fingers: FingerTable::new(),
             store: LocalStore::new(),
             replicas: BTreeMap::new(),
         }
@@ -138,7 +140,7 @@ impl Node {
     /// the same candidates in the same best-first order.
     pub fn route_candidates_into(&self, target: RingId, buf: &mut RouteBuf) {
         buf.clear();
-        for &c in self.fingers.iter().flatten().chain(self.successors.iter()) {
+        for c in self.fingers.present().chain(self.successors.iter().copied()) {
             if c != self.id && c.in_open_arc(self.id, target) {
                 buf.insert_by_progress(self.id, c);
             }
@@ -158,11 +160,7 @@ impl Node {
     /// Purges a (discovered-dead) peer from all routing state.
     pub fn forget(&mut self, dead: RingId) {
         self.successors.retain(|&s| s != dead);
-        for f in &mut self.fingers {
-            if *f == Some(dead) {
-                *f = None;
-            }
-        }
+        self.fingers.forget(dead);
         if self.predecessor == Some(dead) {
             self.predecessor = None;
         }
@@ -175,12 +173,8 @@ impl Node {
         if peer == self.id {
             return;
         }
-        if !self.successors.contains(&peer) {
-            self.successors.push(peer);
-        }
         let me = self.id;
-        self.successors.sort_by_key(|&s| me.distance_to(s));
-        self.successors.truncate(SUCCESSOR_LIST_LEN);
+        self.successors.offer_by_distance(me, peer);
     }
 
     /// Updates the predecessor if `peer` is closer (in the arc
@@ -225,9 +219,9 @@ mod tests {
     #[test]
     fn route_candidates_ordered_by_progress() {
         let mut n = Node::new(RingId(0));
-        n.fingers[4] = Some(RingId(16));
-        n.fingers[6] = Some(RingId(64));
-        n.successors = vec![RingId(5), RingId(16)];
+        n.fingers.set(4, Some(RingId(16)));
+        n.fingers.set(6, Some(RingId(64)));
+        n.successors = [RingId(5), RingId(16)].into();
         let cands = n.route_candidates(RingId(100));
         assert_eq!(cands, vec![RingId(64), RingId(16), RingId(5)]);
         // Target closer than some fingers: only preceding peers qualify.
@@ -238,7 +232,7 @@ mod tests {
     #[test]
     fn route_candidates_exclude_target_itself() {
         let mut n = Node::new(RingId(0));
-        n.successors = vec![RingId(7)];
+        n.successors = [RingId(7)].into();
         // Target == candidate: open arc excludes it.
         assert!(n.route_candidates(RingId(7)).is_empty());
     }
@@ -247,13 +241,13 @@ mod tests {
     fn forget_purges_everywhere() {
         let mut n = Node::new(RingId(0));
         n.predecessor = Some(RingId(90));
-        n.successors = vec![RingId(5), RingId(9)];
-        n.fingers[0] = Some(RingId(5));
-        n.fingers[3] = Some(RingId(9));
+        n.successors = [RingId(5), RingId(9)].into();
+        n.fingers.set(0, Some(RingId(5)));
+        n.fingers.set(3, Some(RingId(9)));
         n.forget(RingId(5));
         assert_eq!(n.successors, vec![RingId(9)]);
-        assert_eq!(n.fingers[0], None);
-        assert_eq!(n.fingers[3], Some(RingId(9)));
+        assert_eq!(n.fingers.get(0), None);
+        assert_eq!(n.fingers.get(3), Some(RingId(9)));
         n.forget(RingId(90));
         assert_eq!(n.predecessor, None);
     }

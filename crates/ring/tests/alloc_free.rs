@@ -42,6 +42,35 @@ fn steady_state_lookup_allocates_nothing() {
 }
 
 #[test]
+fn bulk_built_lookup_stays_allocation_free() {
+    // The mega-scale construction path: `build_bulk` wires the arena in one
+    // O(P·log P) pass and `bulk_join` re-wires it after a block of joiners.
+    // Both must leave the same kind of arena layout the incremental path
+    // produces — warmed lookups stay off the heap.
+    let seq = SeedSequence::new(99);
+    let mut id_rng = seq.stream(Component::NodeIds, 2);
+    let ids: Vec<RingId> = (0..512).map(|_| RingId(id_rng.gen())).collect();
+    let mut net = Network::build_bulk(ids, Placement::range(0.0, 1000.0));
+    let block: Vec<RingId> = (0..64).map(|_| RingId(id_rng.gen())).collect();
+    assert!(net.bulk_join(&block) > 0, "the join block must add peers");
+    let mut rng = seq.stream(Component::Workload, 2);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+
+    for _ in 0..64 {
+        net.lookup(from, RingId(rng.gen())).expect("routes");
+    }
+
+    let before = thread_allocations();
+    let mut hops = 0u32;
+    for _ in 0..1_000 {
+        hops += net.lookup(from, RingId(rng.gen())).expect("routes").hops;
+    }
+    let delta = thread_allocations() - before;
+    assert!(hops > 1_000, "multi-hop routes expected in a 500+-peer ring");
+    assert_eq!(delta, 0, "bulk-built lookup allocated {delta} times over 1000 lookups");
+}
+
+#[test]
 fn hotspot_arc_lookup_stays_allocation_free() {
     // The adversarial scenario pack's id shape: most peers packed into one
     // narrow arc (1/64th of the ring), a handful spread over the rest, and

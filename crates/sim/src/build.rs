@@ -5,9 +5,77 @@ use crate::scenario::{NodeLayout, PlacementMode, Scenario};
 use dde_ring::{FaultPlan, Network, Placement, RingId};
 use dde_stats::dist::Distribution;
 use dde_stats::rng::{splitmix64, Component, SeedSequence};
-use dde_stats::Ecdf;
+use dde_stats::streaming::StreamingTruth;
+use dde_stats::{CdfFn, Ecdf};
 use rand::Rng;
 use std::sync::{Arc, Mutex};
+
+/// Item count at or above which the realized-data ground truth switches
+/// from a materialized [`Ecdf`] to the analytic [`StreamingTruth`]: sorting
+/// and retaining tens of millions of doubles per cell would dominate the
+/// mega-scale build budget, and above this size the empirical CDF is within
+/// DKW noise (`ε(10⁶, 10⁻³) ≈ 0.002`) of the generator anyway.
+pub const STREAMING_TRUTH_ITEMS: usize = 1_000_000;
+
+/// The realized dataset's ground truth — what a perfect estimator would
+/// recover. Materialized at quick-suite scales, analytic (the generating
+/// distribution standing in, exact to DKW noise) in the mega-scale regime.
+#[derive(Debug)]
+pub enum DataTruth {
+    /// The dataset's empirical CDF, materialized (differs from the
+    /// generator by the dataset's own sampling noise).
+    Empirical(Ecdf),
+    /// Analytic stand-in above [`STREAMING_TRUTH_ITEMS`]: the generator's
+    /// exact CDF plus the realized item count (see
+    /// [`dde_stats::streaming`]).
+    Analytic(StreamingTruth),
+}
+
+impl DataTruth {
+    /// The materialized samples, when this truth is empirical.
+    pub fn samples(&self) -> Option<&[f64]> {
+        match self {
+            DataTruth::Empirical(e) => Some(e.samples()),
+            DataTruth::Analytic(_) => None,
+        }
+    }
+
+    /// The empirical CDF, when materialized.
+    pub fn ecdf(&self) -> Option<&Ecdf> {
+        match self {
+            DataTruth::Empirical(e) => Some(e),
+            DataTruth::Analytic(_) => None,
+        }
+    }
+
+    /// Whether this truth is the analytic (streamed) flavour.
+    pub fn is_analytic(&self) -> bool {
+        matches!(self, DataTruth::Analytic(_))
+    }
+}
+
+impl CdfFn for DataTruth {
+    fn cdf(&self, x: f64) -> f64 {
+        match self {
+            DataTruth::Empirical(e) => e.cdf(x),
+            DataTruth::Analytic(t) => t.cdf(x),
+        }
+    }
+
+    fn domain(&self) -> (f64, f64) {
+        match self {
+            DataTruth::Empirical(e) => e.domain(),
+            DataTruth::Analytic(t) => t.domain(),
+        }
+    }
+
+    fn inv_cdf(&self, u: f64) -> f64 {
+        match self {
+            DataTruth::Empirical(e) => e.inv_cdf(u),
+            DataTruth::Analytic(t) => t.inv_cdf(u),
+        }
+    }
+}
 
 /// A built scenario: the network plus both flavours of ground truth.
 pub struct BuiltScenario {
@@ -15,10 +83,9 @@ pub struct BuiltScenario {
     pub net: Network,
     /// The generating distribution (analytic ground truth).
     pub truth: Box<dyn Distribution>,
-    /// The realized dataset's empirical CDF (exact ground truth — what a
-    /// perfect estimator would recover; differs from `truth` by the
-    /// dataset's own sampling noise).
-    pub data_ecdf: Ecdf,
+    /// The realized dataset's ground truth (empirical at quick-suite
+    /// scales, analytic in the mega-scale regime).
+    pub data_truth: DataTruth,
     /// The scenario this was built from.
     pub scenario: Scenario,
 }
@@ -29,7 +96,9 @@ pub struct BuiltScenario {
 /// parameters, no sampling), which keeps the snapshot `Send + Sync`.
 struct Snapshot {
     net: Network,
-    data_ecdf: Ecdf,
+    /// `None` in the mega-scale regime — the analytic truth is rebuilt per
+    /// caller from the scenario (pure parameters, no sampling).
+    data_ecdf: Option<Ecdf>,
     /// The scenario the build actually used (the load-balanced + hashed
     /// combination falls back to uniform ids, so this can differ from the
     /// requested one).
@@ -85,10 +154,17 @@ fn build_cached(scenario: &Scenario) -> BuiltScenario {
     let key = format!("{scenario:?}");
     if let Some(snap) = snapshot_lookup(&key) {
         let (lo, hi) = snap.scenario.domain;
+        let data_truth = match &snap.data_ecdf {
+            Some(e) => DataTruth::Empirical(e.clone()),
+            None => DataTruth::Analytic(StreamingTruth::new(
+                snap.scenario.distribution.build(lo, hi),
+                snap.net.total_items(),
+            )),
+        };
         return BuiltScenario {
             net: snap.net.fork(),
             truth: snap.scenario.distribution.build(lo, hi),
-            data_ecdf: snap.data_ecdf.clone(),
+            data_truth,
             scenario: snap.scenario.clone(),
         };
     }
@@ -97,7 +173,7 @@ fn build_cached(scenario: &Scenario) -> BuiltScenario {
         key,
         Snapshot {
             net: built.net.fork(),
-            data_ecdf: built.data_ecdf.clone(),
+            data_ecdf: built.data_truth.ecdf().cloned(),
             scenario: built.scenario.clone(),
         },
     );
@@ -229,8 +305,18 @@ pub fn build_fresh(scenario: &Scenario) -> BuiltScenario {
     // measure the estimators, not the builder.
     net.stats_mut().reset();
 
-    let data_ecdf = Ecdf::new(data);
-    BuiltScenario { net, truth, data_ecdf, scenario: scenario.clone() }
+    let data_truth = if scenario.items >= STREAMING_TRUTH_ITEMS {
+        // Mega-scale regime: keep the generator's analytic CDF instead of
+        // sorting and retaining the realized dataset (see
+        // [`STREAMING_TRUTH_ITEMS`]).
+        DataTruth::Analytic(StreamingTruth::new(
+            scenario.distribution.build(lo, hi),
+            net.total_items(),
+        ))
+    } else {
+        DataTruth::Empirical(Ecdf::new(data))
+    };
+    BuiltScenario { net, truth, data_truth, scenario: scenario.clone() }
 }
 
 /// Converts a per-mille ring position/span to id space (1000 = full ring).
@@ -250,7 +336,7 @@ mod tests {
         let b = build(&s);
         assert_eq!(a.net.len(), b.net.len());
         assert_eq!(a.net.global_values(), b.net.global_values());
-        assert_eq!(a.data_ecdf.samples(), b.data_ecdf.samples());
+        assert_eq!(a.data_truth.samples(), b.data_truth.samples());
     }
 
     #[test]
@@ -262,7 +348,7 @@ mod tests {
         for b in [&first, &forked] {
             assert_eq!(b.net.len(), fresh.net.len());
             assert_eq!(b.net.global_values(), fresh.net.global_values());
-            assert_eq!(b.data_ecdf.samples(), fresh.data_ecdf.samples());
+            assert_eq!(b.data_truth.samples(), fresh.data_truth.samples());
             assert_eq!(b.scenario, fresh.scenario);
             assert!(b.net.check_invariants().is_empty());
         }
@@ -297,7 +383,7 @@ mod tests {
         let s = Scenario::default().with_peers(16).with_items(20_000);
         let built = build(&s);
         assert_eq!(built.net.total_items(), 20_000);
-        let ks = built.data_ecdf.ks_distance_to(built.truth.as_ref());
+        let ks = built.data_truth.ecdf().expect("quick scale").ks_distance_to(built.truth.as_ref());
         // Dataset noise only: KS ~ 1/√N.
         assert!(ks < 0.02, "dataset diverges from generator: {ks}");
         assert!(built.net.check_invariants().is_empty());
@@ -440,7 +526,7 @@ mod tests {
             let forked = build(s); // guaranteed hit → Network::fork path
             assert_eq!(forked.net.len(), fresh.net.len(), "{s:?}");
             assert_eq!(forked.net.global_values(), fresh.net.global_values(), "{s:?}");
-            assert_eq!(forked.data_ecdf.samples(), fresh.data_ecdf.samples(), "{s:?}");
+            assert_eq!(forked.data_truth.samples(), fresh.data_truth.samples(), "{s:?}");
             assert_eq!(forked.scenario, fresh.scenario, "{s:?}");
             assert_eq!(
                 format!("{:?}", forked.net.fault_plan()),
@@ -496,7 +582,7 @@ mod tests {
         let built = build(&s);
         let (lo, hi) = built.truth.domain();
         assert_eq!((lo, hi), (-50.0, 75.0));
-        for &v in built.data_ecdf.samples() {
+        for &v in built.data_truth.samples().expect("quick scale") {
             assert!((lo..=hi).contains(&v));
         }
     }

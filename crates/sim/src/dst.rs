@@ -156,6 +156,17 @@ pub enum DstEvent {
         /// Jitter entropy positioning the joiner inside the target arc.
         jitter: u64,
     },
+    /// A block of peers joins through the O(P) bulk path
+    /// ([`dde_ring::Network::bulk_join`]): ids derive from `id_entropy`, the
+    /// whole ring is rewired perfectly in one pass, and misplaced items
+    /// re-home — the mega-scale counterpart of [`DstEvent::FlashCrowd`]'s
+    /// one-by-one overlay joins.
+    BulkJoinBlock {
+        /// Raw entropy the block's ring ids derive from.
+        id_entropy: u64,
+        /// Peers joining in the block.
+        count: u16,
+    },
 }
 
 impl std::fmt::Display for DstEvent {
@@ -207,6 +218,9 @@ impl std::fmt::Display for DstEvent {
             }
             DstEvent::AdversarialJoin { jitter } => {
                 write!(f, "AdversarialJoin(jitter: {jitter})")
+            }
+            DstEvent::BulkJoinBlock { id_entropy, count } => {
+                write!(f, "BulkJoinBlock(id_entropy: {id_entropy}, count: {count})")
             }
         }
     }
@@ -321,7 +335,8 @@ fn random_event(rng: &mut StdRng) -> DstEvent {
             span_pm: rng.gen_range(50..=400),
             duration: rng.gen_range(1..=8),
         },
-        _ => DstEvent::AdversarialJoin { jitter: rng.gen() },
+        115..=117 => DstEvent::AdversarialJoin { jitter: rng.gen() },
+        _ => DstEvent::BulkJoinBlock { id_entropy: rng.gen(), count: rng.gen_range(2..=8) },
     }
 }
 
@@ -653,6 +668,37 @@ impl World {
                              {items_before} -> {items_after}"
                         ));
                     }
+                }
+            }
+            DstEvent::BulkJoinBlock { id_entropy, count } => {
+                let (items_before, peers_before) = (self.net.total_items(), self.net.len());
+                let ids: Vec<RingId> = (0..u64::from(count))
+                    .map(|i| RingId(splitmix64(id_entropy.wrapping_add(i))))
+                    .collect();
+                self.net.bulk_join(&ids);
+                // Bulk wiring is perfect by construction, whatever state the
+                // ring was in before (crashed peers leave the columns when
+                // they die): the *full* convergence oracle must be clean
+                // immediately, no Heal in between.
+                for v in self.net.check_invariants() {
+                    extra.push(format!("post-bulk-join: {v}"));
+                }
+                let items_after = self.net.total_items();
+                if items_after != items_before {
+                    extra.push(format!(
+                        "bulk join broke item conservation: {items_before} -> {items_after}"
+                    ));
+                }
+                if self.net.len() < peers_before {
+                    extra.push(format!(
+                        "bulk join shrank the ring: {peers_before} -> {}",
+                        self.net.len()
+                    ));
+                }
+                // The CoW fork path at the new scale: forking right after a
+                // bulk rewire must conserve the item total column-for-column.
+                if self.net.fork().total_items() != items_after {
+                    extra.push("fork changed the item total after bulk join".into());
                 }
             }
         }
@@ -1021,6 +1067,10 @@ fn parse_event(line: &str) -> Result<DstEvent, String> {
             duration: get("duration")? as u16,
         }),
         "AdversarialJoin" => Ok(DstEvent::AdversarialJoin { jitter: get("jitter")? }),
+        "BulkJoinBlock" => Ok(DstEvent::BulkJoinBlock {
+            id_entropy: get("id_entropy")?,
+            count: get("count")? as u16,
+        }),
         other => Err(format!("unknown event: {other:?}")),
     }
 }

@@ -48,8 +48,16 @@ thread_local! {
 /// [`crate::build`]; the surrounding cell (if any) attributes the delta to
 /// its own build-vs-run split.
 pub fn note_build(d: Duration) {
-    // `try_with`: fine to drop the credit during thread teardown.
-    let _ = TL_BUILD.try_with(|c| c.set(c.get() + d.as_nanos() as u64));
+    // `try_with`: fine to drop the credit during thread teardown. Saturating
+    // throughout: a u64 nanosecond counter caps out at ~584 years, so pegging
+    // at the max beats wrapping to a nonsense small number on week-long runs.
+    let _ = TL_BUILD.try_with(|c| c.set(c.get().saturating_add(nanos_u64(d))));
+}
+
+/// A `Duration` as saturating u64 nanoseconds (`as_nanos` returns u128; the
+/// raw `as u64` cast would silently truncate past ~584 years).
+fn nanos_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The worker count plans run with by default: the last [`set_jobs`] value,
@@ -199,16 +207,16 @@ fn execute<T>(cell: CellFn<'_, T>) -> CellResult<T> {
     let start = Instant::now();
     let value = cell();
     let elapsed = start.elapsed();
-    let build = Duration::from_nanos(TL_BUILD.with(Cell::get) - build0);
-    let allocs = dde_stats::alloc::thread_allocations() - allocs0;
+    let build = Duration::from_nanos(TL_BUILD.with(Cell::get).saturating_sub(build0));
+    let allocs = dde_stats::alloc::thread_allocations().saturating_sub(allocs0);
     finish(CellResult { value, elapsed, build, allocs })
 }
 
 /// Books a completed cell into the global counters.
 fn finish<T>(result: CellResult<T>) -> CellResult<T> {
     CELLS_DONE.fetch_add(1, Ordering::Relaxed);
-    CELL_NANOS.fetch_add(result.elapsed.as_nanos() as u64, Ordering::Relaxed);
-    BUILD_NANOS.fetch_add(result.build.as_nanos() as u64, Ordering::Relaxed);
+    CELL_NANOS.fetch_add(nanos_u64(result.elapsed), Ordering::Relaxed);
+    BUILD_NANOS.fetch_add(nanos_u64(result.build), Ordering::Relaxed);
     ALLOC_COUNT.fetch_add(result.allocs, Ordering::Relaxed);
     result
 }
@@ -305,6 +313,18 @@ mod tests {
         // The global split sees it too (lower bound only: parallel tests).
         let stats = take_stats();
         assert!(stats.build >= Duration::from_millis(7), "build = {:?}", stats.build);
+    }
+
+    #[test]
+    fn nanosecond_counters_saturate_instead_of_wrapping() {
+        assert_eq!(nanos_u64(Duration::MAX), u64::MAX);
+        assert_eq!(nanos_u64(Duration::from_nanos(7)), 7);
+        // Booking past the cap pegs the thread-local instead of wrapping (the
+        // raw `+` would panic in debug and wrap in release).
+        note_build(Duration::MAX);
+        note_build(Duration::from_secs(1));
+        assert_eq!(TL_BUILD.with(Cell::get), u64::MAX);
+        // Each test runs on its own thread, so no reset needed for siblings.
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 pub mod f10_replication;
 pub mod f11_faults;
+pub mod f12_scale;
 pub mod f13_adversarial;
 pub mod f1_probes;
 pub mod f2_network_size;
@@ -37,6 +38,7 @@ pub mod t5_aggregates;
 
 pub use f10_replication::f10_replication;
 pub use f11_faults::f11_faults;
+pub use f12_scale::f12_scale;
 pub use f13_adversarial::f13_adversarial;
 pub use f1_probes::f1_accuracy_vs_probes;
 pub use f2_network_size::f2_accuracy_vs_network_size;
@@ -92,6 +94,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(f9_sample_quality(scale));
     tables.extend(f10_replication(scale));
     tables.extend(f11_faults(scale));
+    tables.extend(f12_scale(scale));
     tables.extend(f13_adversarial(scale));
     tables.extend(t2_messages_to_target_accuracy(scale));
     tables.extend(t3_bias_ablation(scale));
@@ -116,6 +119,7 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "f9" => f9_sample_quality(scale),
         "f10" => f10_replication(scale),
         "f11" => f11_faults(scale),
+        "f12" => f12_scale(scale),
         "f13" => f13_adversarial(scale),
         "t2" => t2_messages_to_target_accuracy(scale),
         "t3" => t3_bias_ablation(scale),
@@ -127,6 +131,6 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
 
 /// All experiment ids, in run order.
 pub const ALL_IDS: &[&str] = &[
-    "t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "f11", "f13", "t2",
-    "t3", "t4", "t5",
+    "t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
+    "t2", "t3", "t4", "t5",
 ];

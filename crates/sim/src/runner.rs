@@ -58,7 +58,7 @@ pub fn run_estimator(
     Ok(RunResult {
         method: estimator.name(),
         ks_vs_generator: report.estimate.ks_to(built.truth.as_ref()),
-        ks_vs_data: report.estimate.ks_to(&built.data_ecdf),
+        ks_vs_data: report.estimate.ks_to(&built.data_truth),
         wasserstein: report.estimate.wasserstein_to(built.truth.as_ref()),
         messages: report.messages(),
         bytes: report.bytes(),

@@ -1,0 +1,122 @@
+//! `Network::build_bulk` ≡ the incremental join path.
+//!
+//! The O(P) bulk constructor skips per-join stabilization entirely, so its
+//! claim to correctness is *equivalence*: wiring a ring in one pass must
+//! produce exactly the routing state the overlay protocol itself converges
+//! to — identical successor lists, predecessors, finger tables, lookup
+//! routes, and item owners. Property-tested over seeds and every node
+//! layout the scenario builders emit (uniform, load-balanced, adversarial).
+
+use dde_ring::{Network, Placement, RingId};
+use dde_sim::{build_fresh, NodeLayout, Scenario};
+use dde_stats::rng::{Component, SeedSequence};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Ring ids drawn from a real scenario build, so the sweep covers the id
+/// *shapes* the suite actually runs (including the adversarially packed
+/// layout), not just uniform entropy.
+fn layout_ids(seed: u64, peers: usize, layout: NodeLayout) -> Vec<RingId> {
+    let s =
+        Scenario::default().with_peers(peers).with_items(1_000).with_seed(seed).with_layout(layout);
+    build_fresh(&s).net.ids().collect()
+}
+
+/// Builds the same membership through the overlay protocol: a 1-peer seed
+/// ring, one `join` per id, then stabilization to full quiescence (a whole
+/// finger sweep with zero corrections).
+fn incremental(ids: &[RingId], placement: Placement) -> Network {
+    let mut net = Network::build_bulk(vec![ids[0]], placement);
+    for &id in &ids[1..] {
+        net.join(id, ids[0]).expect("fault-free join");
+    }
+    // 4 fingers re-checked per node per round ⇒ 16 rounds sweep all 64
+    // levels. Quiescence = one full sweep with zero corrections, so every
+    // pointer has been *re-verified* against the converged successor state.
+    let mut clean_rounds = 0;
+    for round in 0.. {
+        assert!(round < 96, "stabilization failed to quiesce after {round} rounds");
+        if net.stabilize_round() == 0 {
+            clean_rounds += 1;
+            if clean_rounds == 16 {
+                break;
+            }
+        } else {
+            clean_rounds = 0;
+        }
+    }
+    net
+}
+
+/// The equivalence oracle: node-for-node routing state, route-for-route
+/// lookups, and item-for-item owner assignments must match.
+fn assert_equivalent(bulk: &mut Network, inc: &mut Network, seed: u64) {
+    let ids: Vec<RingId> = bulk.ids().collect();
+    assert_eq!(ids, inc.ids().collect::<Vec<_>>(), "membership differs");
+    for &id in &ids {
+        let b = bulk.node(id).expect("alive in bulk");
+        let i = inc.node(id).expect("alive in incremental");
+        assert_eq!(b.successors, i.successors, "{id}: successor lists differ");
+        assert_eq!(b.predecessor, i.predecessor, "{id}: predecessors differ");
+        assert_eq!(b.fingers, i.fingers, "{id}: finger tables differ");
+    }
+
+    // Same routes: identical state must route identically, hop for hop.
+    let mut rng = SeedSequence::new(seed).stream(Component::Workload, 7);
+    for probe in 0..64 {
+        let from = ids[rng.gen_range(0..ids.len())];
+        let target = RingId(rng.gen());
+        let a = bulk.lookup(from, target).expect("bulk routes");
+        let b = inc.lookup(from, target).expect("incremental routes");
+        assert_eq!(a.owner, b.owner, "probe {probe}: owners differ for {target}");
+        assert_eq!(a.hops, b.hops, "probe {probe}: hop counts differ for {target}");
+    }
+
+    // Same owner assignments: a shared dataset lands item-for-item on the
+    // same peers.
+    let data: Vec<f64> = (0..512).map(|_| rng.gen_range(0.0..1000.0)).collect();
+    bulk.bulk_load(&data);
+    inc.bulk_load(&data);
+    for &id in &ids {
+        assert_eq!(
+            bulk.node(id).expect("alive").store.values(),
+            inc.node(id).expect("alive").store.values(),
+            "{id}: stores differ after identical bulk load"
+        );
+    }
+}
+
+fn check(seed: u64, peers: usize, layout: NodeLayout) {
+    let ids = layout_ids(seed, peers, layout);
+    let placement = Placement::range(0.0, 1000.0);
+    let mut bulk = Network::build_bulk(ids.clone(), placement);
+    let mut inc = incremental(&ids, placement);
+    assert_equivalent(&mut bulk, &mut inc, seed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Equivalence over seeds × layouts at the sizes the quick suite runs.
+    #[test]
+    fn bulk_build_matches_incremental_joins(
+        seed in 0u64..(1u64 << 32),
+        peers in prop_oneof![Just(16usize), Just(256usize)],
+        layout in prop_oneof![
+            Just(NodeLayout::UniformIds),
+            Just(NodeLayout::LoadBalanced),
+            Just(NodeLayout::Adversarial),
+        ],
+    ) {
+        check(seed, peers, layout);
+    }
+}
+
+/// One deep cell at the mega-scale shape's edge: 4096 peers, adversarial
+/// layout. A single pinned seed keeps the heavyweight convergence loop out
+/// of the proptest budget while still exercising the size where the bulk
+/// sweep's virtual-doubling wrap actually matters.
+#[test]
+fn bulk_build_matches_incremental_joins_at_4096() {
+    check(0xF12, 4_096, NodeLayout::Adversarial);
+}

@@ -6,8 +6,9 @@
 //! and own their `BuiltScenario`, so scheduling order cannot leak into the
 //! tables. The experiments here cover the main runner shapes — plain
 //! estimator grids (f1, f3), per-run self-building cells (f5), cells with
-//! fault-plan setup closures (f11), and the adversarial axis pack whose
-//! fault plans and crowds ride in the scenario itself (f13).
+//! fault-plan setup closures (f11), the bulk-built mega-scale sweep (f12),
+//! and the adversarial axis pack whose fault plans and crowds ride in the
+//! scenario itself (f13).
 
 use dde_core::{DfDde, DfDdeConfig};
 use dde_sim::exec;
@@ -25,7 +26,7 @@ fn render(tables: &[Table]) -> (String, String) {
 /// global and libtest runs `#[test]`s concurrently.
 #[test]
 fn quick_suite_is_byte_identical_across_jobs() {
-    for id in ["f1", "f3", "f5", "f11", "f13"] {
+    for id in ["f1", "f3", "f5", "f11", "f12", "f13"] {
         exec::set_jobs(1);
         let serial = render(&run_by_id(id, Scale::Quick).expect("known id"));
 
@@ -54,7 +55,7 @@ fn forked_builds_replay_fresh_builds_exactly() {
     let mut forked = build(&s); // guaranteed cache hit → Network::fork
 
     assert_eq!(fresh.net.global_values(), forked.net.global_values());
-    assert_eq!(fresh.data_ecdf.samples(), forked.data_ecdf.samples());
+    assert_eq!(fresh.data_truth.samples(), forked.data_truth.samples());
 
     let est = DfDde::new(DfDdeConfig::with_probes(8));
     let a = aggregate(&mut fresh, &est, 3);
@@ -63,4 +64,39 @@ fn forked_builds_replay_fresh_builds_exactly() {
     // Debug formatting prints f64s exactly, so equal strings = equal bits.
     assert_eq!(format!("{a:?}"), format!("{b:?}"), "fresh vs first build diverged");
     assert_eq!(format!("{a:?}"), format!("{c:?}"), "fresh vs forked build diverged");
+}
+
+/// The snapshot cache is keyed on the scenario's `Debug` rendering; the f12
+/// sweep stresses it with scenarios that differ only in `peers`/`items`.
+/// Every sweep point must map to a distinct key, and a cache hit must hand
+/// back the network that was stored under that exact scenario — never a
+/// neighboring size's.
+#[test]
+fn snapshot_cache_keys_do_not_collide_for_bulk_built_scenarios() {
+    use dde_sim::experiments::f12_scale::{scale_scenario, ITEMS_PER_PEER};
+
+    let keys: Vec<String> = [1_000, 10_000, 100_000, 1_000_000]
+        .iter()
+        .map(|&p| format!("{:?}", scale_scenario(p)))
+        .collect();
+    for (i, a) in keys.iter().enumerate() {
+        for b in &keys[i + 1..] {
+            assert_ne!(a, b, "two f12 sweep points share a cache key");
+        }
+    }
+
+    // Tiny f12-shaped scenarios: prime the cache with two adjacent sizes,
+    // then re-build both and check each hit returns its own snapshot.
+    for &p in &[48usize, 49] {
+        let built = build(&scale_scenario(p));
+        assert_eq!(built.net.ids().count(), p);
+        assert_eq!(built.net.total_items(), (p * ITEMS_PER_PEER) as u64);
+    }
+    for &p in &[48usize, 49] {
+        let forked = build(&scale_scenario(p)); // guaranteed cache hit
+        assert_eq!(forked.net.ids().count(), p, "cache hit returned the wrong snapshot");
+        assert_eq!(forked.net.total_items(), (p * ITEMS_PER_PEER) as u64);
+        let fresh = build_fresh(&scale_scenario(p));
+        assert_eq!(fresh.net.global_values(), forked.net.global_values());
+    }
 }

@@ -42,6 +42,32 @@ fn clean_corpus_runs_without_violations() {
     }
 }
 
+/// F12's smallest sweep cell, fuzzed: the mega-scale shape (bulk-built ring,
+/// items ∝ P) must survive a schedule of churn, bulk-join blocks, probes,
+/// and fault windows with zero violations — including the `BulkJoinBlock`
+/// oracle's demand that bulk wiring is *fully* converged with items
+/// conserved across a CoW fork.
+#[test]
+fn f12_smallest_cell_survives_a_fuzzed_schedule() {
+    let s = dde_sim::experiments::f12_scale::scale_scenario(1_000);
+    let cfg = DstConfig {
+        seed: 0xF12,
+        peers: s.peers,
+        items: s.items,
+        events: 24,
+        ..DstConfig::default()
+    };
+    let outcome = dst::fuzz(&cfg, 1);
+    assert_eq!(outcome.schedules, 1);
+    if let Some(found) = outcome.failure {
+        panic!(
+            "f12 smallest cell violated an invariant:\n{}\nshrunk repro:\n{}",
+            found.failure,
+            dst::to_repro(&found.shrunk),
+        );
+    }
+}
+
 #[test]
 fn injected_bug_is_caught_shrunk_and_replays_byte_identically() {
     let cfg = DstConfig { bug: Some(InjectedBug::SkipSuccessorOnHeal), ..DstConfig::default() };

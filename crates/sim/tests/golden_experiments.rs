@@ -8,8 +8,8 @@
 //!
 //! `GOLDEN_UPDATE=1 cargo test -p dde-sim --test golden_experiments`
 //!
-//! f1/f3/f5/f5b/f11 are excluded: they are covered by their own behavioural
-//! tests and dominate quick-suite runtime.
+//! f1/f3/f5/f5b/f11/f12/f13 are excluded: they are covered by their own
+//! behavioural tests and dominate quick-suite runtime.
 
 use dde_sim::experiments::{run_by_id, Scale};
 use std::path::PathBuf;

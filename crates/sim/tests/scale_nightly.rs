@@ -1,0 +1,49 @@
+//! Nightly wall-clock budget for the mega-scale regime.
+//!
+//! The tentpole claim behind F12: a 10⁶-peer cell — items ∝ P, so 2·10⁷
+//! stored values — must **build and run in seconds**, because every scale
+//! path is O(P log P) or better: `build_bulk` wires the ring in one sweep,
+//! the arena keeps nodes in one contiguous slab, and the ground truth
+//! streams against the generator's analytic CDF instead of materializing
+//! the global vector.
+//!
+//! `#[ignore]`d: this is a release-build budget assertion, meaningless under
+//! the debug profile. The nightly workflow runs it as
+//! `cargo test --release -p dde-sim --test scale_nightly -- --ignored`.
+
+use dde_core::{DfDde, DfDdeConfig};
+use dde_sim::experiments::f12_scale::{scale_scenario, ITEMS_PER_PEER, PROBES};
+use dde_sim::runner::aggregate_cell;
+
+/// Generous ceiling over the measured cell time (≈26 s build-dominated on
+/// the 1-core reference container; see BENCH_scale.json): the assert exists
+/// to catch an accidental O(P²) or re-materialization regression — those
+/// blow past any constant-factor noise by an order of magnitude.
+const BUDGET_SECS: u64 = 120;
+
+#[test]
+#[ignore = "release-build wall-clock budget; run via nightly CI with --release -- --ignored"]
+fn mega_scale_cell_builds_and_runs_within_budget() {
+    let p = 1_000_000;
+    // ddelint::allow(wallclock, "timing-only: bounds the nightly budget assert, never an experiment value")
+    let start = std::time::Instant::now();
+    let scenario = scale_scenario(p);
+    let est = DfDde::new(DfDdeConfig::with_probes(PROBES));
+    let cell = aggregate_cell(&scenario, |_| (), &est, 3);
+    let elapsed = start.elapsed();
+
+    assert_eq!(cell.runs, 3);
+    assert_eq!(cell.failures, 0, "probes must not fail on a fault-free ring");
+    assert!(
+        cell.ks_data_mean.is_finite() && cell.ks_data_mean > 0.0,
+        "streamed ground truth must produce a real KS value, got {}",
+        cell.ks_data_mean
+    );
+    assert!(
+        elapsed.as_secs() < BUDGET_SECS,
+        "10^6-peer cell (items = {}) took {elapsed:?}, budget {BUDGET_SECS}s — \
+         a scale path regressed from O(P log P)",
+        p * ITEMS_PER_PEER,
+    );
+    eprintln!("[scale-nightly] P = {p}: 3 repeats in {elapsed:.2?} (budget {BUDGET_SECS}s)");
+}

@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod piecewise;
 pub mod reservoir;
 pub mod rng;
+pub mod streaming;
 
 pub use dist::Distribution;
 pub use ecdf::Ecdf;
