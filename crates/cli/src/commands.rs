@@ -7,7 +7,7 @@ use dde_core::{
     GossipConfig, UniformPeerConfig, UniformPeerSampling,
 };
 use dde_ring::{ChurnConfig, ChurnProcess};
-use dde_sim::{build, BuiltScenario, PlacementMode, Scenario};
+use dde_sim::{build, run_workload, BuiltScenario, OpMix, PlacementMode, Scenario, WorkloadSpec};
 use dde_stats::dist::DistributionKind;
 use dde_stats::rng::{Component, SeedSequence};
 use dde_stats::Ecdf;
@@ -22,6 +22,7 @@ commands:
   aggregate  estimate COUNT / SUM / AVG / VAR from one probe round
   query      plan + execute a range query
   churn      stress the network with churn, report survival & healing
+  workload   serve an open-loop insert/lookup/estimate mix, report latency
   topology   print ring statistics (arcs, load, hops)
   help       this text
 
@@ -42,7 +43,15 @@ command-specific:
   query:   --lo X --hi Y    range bounds (default 100..300)
   churn:   --rate R         churn rate/peer/unit (default 0.1)
            --duration T     time units (default 10)
-           --replication R  replication factor (default 0)";
+           --replication R  replication factor (default 0)
+  workload: --rate R        target arrival rate, ops/s (default 200)
+           --duration T     virtual seconds of traffic (default 10)
+           --insert-pm M    insert share, per mille (default 200)
+           --lookup-pm M    lookup share, per mille (default 700;
+                            the remainder is estimate reads)
+           --refresh T      seconds between estimate refreshes (default 2)
+           --no-batch       route each lookup separately
+           --no-piggyback   dedicated probes only";
 
 fn dist_of(name: &str) -> Result<DistributionKind, String> {
     Ok(match name {
@@ -293,6 +302,107 @@ pub fn churn(args: &Args) -> Result<(), String> {
         "  post-churn estimate: KS vs surviving data {:.4} ({} messages)",
         report.estimate.ks_to(&surviving),
         report.messages()
+    );
+    Ok(())
+}
+
+/// `ring-dde workload`
+pub fn workload(args: &Args) -> Result<(), String> {
+    let insert_pm = args.get_or("insert-pm", 200u16)?;
+    let lookup_pm = args.get_or("lookup-pm", 700u16)?;
+    if usize::from(insert_pm) + usize::from(lookup_pm) > 1000 {
+        return Err(format!("--insert-pm {insert_pm} + --lookup-pm {lookup_pm} exceeds 1000‰"));
+    }
+    let spec = WorkloadSpec {
+        rate: args.get_or("rate", 200.0f64)?,
+        duration: args.get_or("duration", 10.0f64)?,
+        mix: OpMix::new(insert_pm, lookup_pm),
+        probes: args.get_or("probes", 48usize)?,
+        refresh_interval: args.get_or("refresh", 2.0f64)?,
+        batch: !args.has_flag("no-batch"),
+        piggyback: !args.has_flag("no-piggyback"),
+        ..WorkloadSpec::default()
+    };
+    if spec.rate <= 0.0 || spec.duration <= 0.0 || spec.refresh_interval <= 0.0 {
+        return Err("--rate, --duration and --refresh must be positive".into());
+    }
+    let (built, _, _) = setup(args)?;
+    let report = run_workload(&built, &spec, 0);
+
+    if args.has_flag("json") {
+        let out = Json::obj(vec![
+            ("rate", spec.rate.into()),
+            ("duration", spec.duration.into()),
+            ("insert_pm", u64::from(insert_pm).into()),
+            ("lookup_pm", u64::from(lookup_pm).into()),
+            ("estimate_pm", u64::from(spec.mix.estimate_pm()).into()),
+            ("batch", if spec.batch { 1u64 } else { 0 }.into()),
+            ("piggyback", if spec.piggyback { 1u64 } else { 0 }.into()),
+            ("ops_scheduled", report.ops_scheduled.into()),
+            ("ops_completed", report.ops_completed.into()),
+            ("ops_failed", report.ops_failed.into()),
+            ("throughput", report.throughput.into()),
+            ("hop_p50", report.hop_p50.into()),
+            ("hop_p95", report.hop_p95.into()),
+            ("hop_p99", report.hop_p99.into()),
+            ("refreshes", report.refreshes.into()),
+            ("refresh_failures", report.refresh_failures.into()),
+            ("piggybacked", report.piggybacked.into()),
+            ("dedicated_probes", report.dedicated_probes.into()),
+            ("piggyback_msgs", report.piggyback_msgs.into()),
+            ("lookup_hop_msgs", report.lookup_hop_msgs.into()),
+            ("messages", report.messages.into()),
+            ("bytes", report.bytes.into()),
+            ("mean_staleness", report.mean_staleness.into()),
+            ("est_ks", report.est_ks.into()),
+        ]);
+        println!("{}", out.pretty());
+        return Ok(());
+    }
+
+    println!(
+        "workload {} ops/s for {}s on {} peers ({}‰ insert / {}‰ lookup / {}‰ estimate, \
+         batch {}, piggyback {}):",
+        spec.rate,
+        spec.duration,
+        built.net.len(),
+        insert_pm,
+        lookup_pm,
+        spec.mix.estimate_pm(),
+        if spec.batch { "on" } else { "off" },
+        if spec.piggyback { "on" } else { "off" },
+    );
+    println!(
+        "  ops: {} scheduled, {} completed, {} failed ({} inserts, {} lookups, {} reads)",
+        report.ops_scheduled,
+        report.ops_completed,
+        report.ops_failed,
+        report.inserts,
+        report.lookups,
+        report.estimate_reads
+    );
+    println!(
+        "  throughput: {:.1} ops/s; hop latency p50 {:.1}, p95 {:.1}, p99 {:.1}",
+        report.throughput, report.hop_p50, report.hop_p95, report.hop_p99
+    );
+    println!(
+        "  probes: {} refreshes ({} failed), {} points piggybacked, \
+         {} dedicated probe msgs, {} piggyback msgs",
+        report.refreshes,
+        report.refresh_failures,
+        report.piggybacked,
+        report.dedicated_probes,
+        report.piggyback_msgs
+    );
+    println!(
+        "  cost: {} messages, {:.1} KB ({} lookup-hop msgs)",
+        report.messages,
+        report.bytes as f64 / 1024.0,
+        report.lookup_hop_msgs
+    );
+    println!(
+        "  estimate: mean staleness {:.2}s, final KS vs live data {:.4}",
+        report.mean_staleness, report.est_ks
     );
     Ok(())
 }

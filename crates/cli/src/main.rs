@@ -9,6 +9,10 @@
 //! ring-dde query     [--peers P] [--items N] [--dist D] [--lo X] [--hi Y] [--seed S]
 //! ring-dde churn     [--peers P] [--items N] [--rate R] [--duration T]
 //!                    [--replication REPL] [--seed S]
+//! ring-dde workload  [--peers P] [--items N] [--dist D] [--seed S] [--rate R]
+//!                    [--duration T] [--insert-pm M] [--lookup-pm M]
+//!                    [--probes K] [--refresh T] [--no-batch] [--no-piggyback]
+//!                    [--loss L] [--json]
 //! ring-dde topology  [--peers P] [--items N] [--dist D] [--seed S]
 //! ```
 //!
@@ -40,6 +44,11 @@ fn main() {
         "replication",
         "loss",
         "fault-seed",
+        "insert-pm",
+        "lookup-pm",
+        "refresh",
+        "no-batch",
+        "no-piggyback",
     ];
 
     let parsed = match Args::parse(std::env::args().skip(1)) {
@@ -62,6 +71,7 @@ fn main() {
         "aggregate" => commands::aggregate(&parsed),
         "query" => commands::query(&parsed),
         "churn" => commands::churn(&parsed),
+        "workload" => commands::workload(&parsed),
         "topology" => commands::topology(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

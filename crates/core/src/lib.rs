@@ -84,6 +84,7 @@ pub mod dfdde;
 pub mod estimate;
 pub mod estimator;
 pub mod exact;
+pub mod piggyback;
 pub mod retry;
 pub mod skeleton;
 
@@ -96,5 +97,6 @@ pub use dfdde::{DfDde, DfDdeConfig, ProbeStrategy, SampleMode};
 pub use estimate::DensityEstimate;
 pub use estimator::{DensityEstimator, EstimateError, EstimationReport};
 pub use exact::ExactAggregation;
+pub use piggyback::ProbePlan;
 pub use retry::RetryPolicy;
 pub use skeleton::{CdfSkeleton, Weighting};

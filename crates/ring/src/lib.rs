@@ -61,7 +61,7 @@ pub use faults::{DelayDist, FaultDecision, FaultPlan};
 pub use id::RingId;
 pub use index::NodeIndex;
 pub use messages::{MessageKind, MessageStats};
-pub use network::{LookupError, LookupResult, Network, ProbeReply};
+pub use network::{BatchRouter, LookupError, LookupResult, Network, ProbeReply};
 pub use node::{Node, RouteBuf};
 pub use placement::{DomainMap, Placement};
 pub use query::RangeQueryResult;

@@ -14,7 +14,7 @@
 pub const HEADER_BYTES: usize = 48;
 
 /// Number of [`MessageKind`] variants (size of the dense counter array).
-const KIND_COUNT: usize = 16;
+const KIND_COUNT: usize = 17;
 
 /// The kinds of messages the overlay exchanges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -27,6 +27,10 @@ pub enum MessageKind {
     Probe,
     /// A probe reply carrying `(arc, count, summary)`.
     ProbeReply,
+    /// A probe reply piggybacked on a foreground lookup's final exchange:
+    /// only the incremental payload is charged — the routing was already
+    /// paid for by the lookup it rides on.
+    ProbePiggyback,
     /// Stabilization traffic (successor/predecessor refresh, finger fix).
     Stabilize,
     /// Data handoff during join/leave.
@@ -62,6 +66,7 @@ impl MessageKind {
         MessageKind::LookupTimeout,
         MessageKind::Probe,
         MessageKind::ProbeReply,
+        MessageKind::ProbePiggyback,
         MessageKind::Stabilize,
         MessageKind::Handoff,
         MessageKind::Gossip,
@@ -83,18 +88,19 @@ impl MessageKind {
             MessageKind::LookupTimeout => 1,
             MessageKind::Probe => 2,
             MessageKind::ProbeReply => 3,
-            MessageKind::Stabilize => 4,
-            MessageKind::Handoff => 5,
-            MessageKind::Gossip => 6,
-            MessageKind::WalkStep => 7,
-            MessageKind::TupleSample => 8,
-            MessageKind::Replicate => 9,
-            MessageKind::FaultDrop => 10,
-            MessageKind::FaultReplyDrop => 11,
-            MessageKind::FaultCrash => 12,
-            MessageKind::FaultSick => 13,
-            MessageKind::FaultSlow => 14,
-            MessageKind::FaultPartition => 15,
+            MessageKind::ProbePiggyback => 4,
+            MessageKind::Stabilize => 5,
+            MessageKind::Handoff => 6,
+            MessageKind::Gossip => 7,
+            MessageKind::WalkStep => 8,
+            MessageKind::TupleSample => 9,
+            MessageKind::Replicate => 10,
+            MessageKind::FaultDrop => 11,
+            MessageKind::FaultReplyDrop => 12,
+            MessageKind::FaultCrash => 13,
+            MessageKind::FaultSick => 14,
+            MessageKind::FaultSlow => 15,
+            MessageKind::FaultPartition => 16,
         }
     }
 }

@@ -79,6 +79,51 @@ pub struct ProbeReply {
     pub hops: u32,
 }
 
+/// Reusable charge-dedup state for one same-origin arrival window of
+/// batched lookups (see [`Network::lookup_batched`]).
+///
+/// Lookups issued from one peer inside one window share route prefixes: the
+/// first lookup to traverse a hop `a → b` pays its two messages, and every
+/// later lookup in the window rides the same (still-open) exchange for free.
+/// Routing *decisions* are untouched — owners and hop counts are identical
+/// to per-op routing (property-tested in `crates/sim/tests/batch_equivalence.rs`);
+/// only the message/byte charges are amortized.
+///
+/// The edge set is a linear-scanned vector whose capacity is reused across
+/// windows, so a warmed batch path allocates nothing (fenced by
+/// `crates/ring/tests/alloc_free.rs`).
+#[derive(Debug, Default, Clone)]
+pub struct BatchRouter {
+    edges: Vec<(RingId, RingId)>,
+}
+
+impl BatchRouter {
+    /// An empty router with no cached edges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new arrival window: previously paid edges no longer amortize
+    /// (capacity is kept, so warmed windows never allocate).
+    pub fn begin_window(&mut self) {
+        self.edges.clear();
+    }
+
+    /// Number of distinct hop edges paid for in the current window.
+    pub fn edges_paid(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `from → to` was already paid this window; records it if not.
+    fn seen_or_insert(&mut self, from: RingId, to: RingId) -> bool {
+        if self.edges.contains(&(from, to)) {
+            return true;
+        }
+        self.edges.push((from, to));
+        false
+    }
+}
+
 /// The simulated ring overlay.
 #[derive(Debug)]
 pub struct Network {
@@ -568,6 +613,54 @@ impl Network {
     /// step surface as [`LookupError::MessageLost`] rather than ever
     /// returning a wrong owner.
     pub fn lookup(&mut self, from: RingId, target: RingId) -> Result<LookupResult, LookupError> {
+        self.lookup_impl(from, target, None)
+    }
+
+    /// [`Network::lookup`] inside a same-origin arrival window: routing
+    /// decisions, owners, and hop counts are **identical** to the per-op
+    /// path (both run [`Network::lookup_impl`] with the same state
+    /// mutations), but hop exchanges already paid in `batch`'s current
+    /// window are not charged again — the batch shares route prefixes.
+    ///
+    /// With a fault plan installed the dedup is disabled (fault decisions
+    /// are stateful per-link draws; skipping one would diverge from per-op
+    /// behaviour), so the call degrades to plain [`Network::lookup`].
+    pub fn lookup_batched(
+        &mut self,
+        from: RingId,
+        target: RingId,
+        batch: &mut BatchRouter,
+    ) -> Result<LookupResult, LookupError> {
+        self.lookup_impl(from, target, Some(batch))
+    }
+
+    /// One hop exchange under an optional batch window: a window edge that
+    /// was already paid is free (fault-free fast path only — with a plan
+    /// installed, or a dead callee, this is exactly [`Network::contact`]).
+    fn contact_dedup(
+        &mut self,
+        from: RingId,
+        to: RingId,
+        batch: &mut Option<&mut BatchRouter>,
+    ) -> Contact {
+        if let Some(b) = batch.as_deref_mut() {
+            if self.faults.is_none() && self.is_alive(to) {
+                if !b.seen_or_insert(from, to) {
+                    self.stats.record(MessageKind::LookupHop, 8);
+                    self.stats.record(MessageKind::LookupHop, 8);
+                }
+                return Contact::Ok;
+            }
+        }
+        self.contact(from, to)
+    }
+
+    fn lookup_impl(
+        &mut self,
+        from: RingId,
+        target: RingId,
+        mut batch: Option<&mut BatchRouter>,
+    ) -> Result<LookupResult, LookupError> {
         if self.nodes.is_empty() {
             return Err(LookupError::EmptyNetwork);
         }
@@ -605,7 +698,7 @@ impl Network {
             let succ = succs[0];
             if target.in_arc(cur, succ) {
                 for &s in &succs[..succ_len] {
-                    match self.contact(cur, s) {
+                    match self.contact_dedup(cur, s, &mut batch) {
                         Contact::Ok => {
                             hops += 1;
                             self.stats.record_lookup(hops);
@@ -627,7 +720,7 @@ impl Network {
             node.route_candidates_into(target, &mut route_buf);
             let mut advanced = false;
             for &c in route_buf.as_slice() {
-                if self.contact(cur, c) == Contact::Ok {
+                if self.contact_dedup(cur, c, &mut batch) == Contact::Ok {
                     hops += 1;
                     cur = c;
                     advanced = true;
@@ -641,7 +734,7 @@ impl Network {
                 // advances from there).
                 let (succs, succ_len) = self.nodes.get(&cur).expect("alive").successors_snapshot();
                 for &s in &succs[..succ_len] {
-                    if self.contact(cur, s) == Contact::Ok {
+                    if self.contact_dedup(cur, s, &mut batch) == Contact::Ok {
                         hops += 1;
                         cur = s;
                         advanced = true;
@@ -672,21 +765,46 @@ impl Network {
                 net.stats.record(MessageKind::Probe, 8);
             })?;
         }
-        let node = self.nodes.get(&res.owner).expect("owner alive");
-        let summary = node.store.summary(self.summary_buckets);
-        let reply = ProbeReply {
-            peer: res.owner,
-            predecessor: node.predecessor,
-            count: node.store.len() as u64,
-            sum: node.store.sum(),
-            sum_sq: node.store.sum_sq(),
-            summary,
-            hops: res.hops,
-        };
+        let reply = self.probe_reply_from(res.owner, res.hops);
         self.stats.record(MessageKind::Probe, 8);
         self.stats.record(MessageKind::ProbeReply, 40 + reply.summary.wire_size());
         self.charge_rpc_delay(initiator, res.owner);
         Ok(reply)
+    }
+
+    /// Assembles the probe statistic from `owner`'s local state (no message
+    /// charges — callers charge the transport they actually used).
+    fn probe_reply_from(&self, owner: RingId, hops: u32) -> ProbeReply {
+        let node = self.nodes.get(&owner).expect("owner alive");
+        ProbeReply {
+            peer: owner,
+            predecessor: node.predecessor,
+            count: node.store.len() as u64,
+            sum: node.store.sum(),
+            sum_sq: node.store.sum_sq(),
+            summary: node.store.summary(self.summary_buckets),
+            hops,
+        }
+    }
+
+    /// Harvests a probe reply for `point` by piggybacking on a foreground
+    /// exchange that already reached `owner`: if `owner` is alive and
+    /// believes it owns `point`, the probe statistic rides back on the
+    /// in-flight reply, charged as one [`MessageKind::ProbePiggyback`]
+    /// message carrying only the incremental payload — no dedicated request
+    /// and no routing, which the foreground lookup already paid for.
+    ///
+    /// Returns `None` when `owner` is gone or does not own `point` (the
+    /// caller falls back to a dedicated [`Network::probe`]). The reply is
+    /// field-for-field what a dedicated probe of `point` would have
+    /// returned, with `hops = 0` marginal routing cost.
+    pub fn piggyback_probe(&mut self, owner: RingId, point: RingId) -> Option<ProbeReply> {
+        if !self.nodes.get(&owner).is_some_and(|n| n.owns(point)) {
+            return None;
+        }
+        let reply = self.probe_reply_from(owner, 0);
+        self.stats.record(MessageKind::ProbePiggyback, 40 + reply.summary.wire_size());
+        Some(reply)
     }
 
     /// Rolls the fault plan for one application-level RPC (no-op `Clean`

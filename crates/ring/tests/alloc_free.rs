@@ -6,7 +6,7 @@
 //! candidates, stack successor snapshots, array-indexed message counters —
 //! and this test is the regression fence that keeps it that way.
 
-use dde_ring::{Network, Placement, RingId};
+use dde_ring::{BatchRouter, Network, Placement, RingId};
 use dde_stats::alloc::{thread_allocations, CountingAlloc};
 use dde_stats::rng::{Component, SeedSequence};
 use rand::Rng;
@@ -39,6 +39,43 @@ fn steady_state_lookup_allocates_nothing() {
     let delta = thread_allocations() - before;
     assert!(hops > 1_000, "multi-hop routes expected in a 512-peer ring");
     assert_eq!(delta, 0, "lookup hot path allocated {delta} times over 1000 lookups");
+}
+
+#[test]
+fn warmed_batched_lookup_allocates_nothing() {
+    // The serving hot path: same-origin windows routed through a shared
+    // BatchRouter. The router's edge buffer grows during warm-up and is
+    // reused (`begin_window` clears, never shrinks), so warmed windows must
+    // stay off the heap exactly like per-op lookups. Warm-up windows are
+    // wider than measured ones, so the edge high-water mark is already set.
+    let seq = SeedSequence::new(1404);
+    let mut id_rng = seq.stream(Component::NodeIds, 3);
+    let mut ids: Vec<RingId> = (0..512).map(|_| RingId(id_rng.gen())).collect();
+    ids.sort();
+    ids.dedup();
+    let mut net = Network::build(ids, Placement::range(0.0, 1000.0));
+    let mut rng = seq.stream(Component::Workload, 3);
+    let from = net.random_peer(&mut rng).expect("nonempty");
+    let mut batch = BatchRouter::new();
+
+    for _ in 0..4 {
+        batch.begin_window();
+        for _ in 0..64 {
+            net.lookup_batched(from, RingId(rng.gen()), &mut batch).expect("routes");
+        }
+    }
+
+    let before = thread_allocations();
+    let mut hops = 0u32;
+    for _ in 0..63 {
+        batch.begin_window();
+        for _ in 0..16 {
+            hops += net.lookup_batched(from, RingId(rng.gen()), &mut batch).expect("routes").hops;
+        }
+    }
+    let delta = thread_allocations() - before;
+    assert!(hops > 1_000, "multi-hop routes expected in a 512-peer ring");
+    assert_eq!(delta, 0, "batched lookup hot path allocated {delta} times over 1008 lookups");
 }
 
 #[test]

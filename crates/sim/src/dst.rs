@@ -6,7 +6,8 @@
 //! * **Schedule fuzzer** — [`generate`] derives an arbitrary interleaving of
 //!   `Join / Leave / Crash / Heal / Insert / Probe / EstimateRefresh /
 //!   FaultWindow` events — plus the adversarial pack: `FlashCrowd /
-//!   HotspotBurst / CapacitySkew / ArcPartition / AdversarialJoin` (see
+//!   HotspotBurst / CapacitySkew / ArcPartition / AdversarialJoin /
+//!   BulkJoinBlock / WorkloadBurst` (see
 //!   `TESTING.md` §scenario axes) — from a master seed. Every event carries *concrete*
 //!   parameters (entropy words, peer ranks resolved against the alive set at
 //!   application time), never a shared RNG — so removing events during
@@ -31,8 +32,8 @@
 use crate::build::build;
 use crate::exec::ExecPlan;
 use crate::scenario::Scenario;
-use dde_core::{ContinuousConfig, ContinuousEstimator};
-use dde_ring::{FaultPlan, Network, RingId};
+use dde_core::{ContinuousConfig, ContinuousEstimator, DfDde, DfDdeConfig, ProbePlan};
+use dde_ring::{BatchRouter, FaultPlan, Network, RingId};
 use dde_stats::rng::{splitmix64, Component, SeedSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -167,6 +168,20 @@ pub enum DstEvent {
         /// Peers joining in the block.
         count: u16,
     },
+    /// A same-origin burst of open-loop serving traffic: a 300/700‰
+    /// insert/lookup mix routed through one shared batch window
+    /// ([`dde_ring::BatchRouter`]), with the lookups' resolved owners
+    /// piggybacking a small probe plan ([`dde_core::ProbePlan`]) completed
+    /// by dedicated probes at burst end — the serving engine's hot path
+    /// ([`crate::workload`]) in miniature, under fuzz.
+    WorkloadBurst {
+        /// Rank (mod alive count) of the burst's origin peer.
+        origin_rank: u64,
+        /// Raw entropy for the burst's op kinds, values, and probe plan.
+        entropy: u64,
+        /// Foreground ops in the burst.
+        count: u16,
+    },
 }
 
 impl std::fmt::Display for DstEvent {
@@ -221,6 +236,12 @@ impl std::fmt::Display for DstEvent {
             }
             DstEvent::BulkJoinBlock { id_entropy, count } => {
                 write!(f, "BulkJoinBlock(id_entropy: {id_entropy}, count: {count})")
+            }
+            DstEvent::WorkloadBurst { origin_rank, entropy, count } => {
+                write!(
+                    f,
+                    "WorkloadBurst(origin_rank: {origin_rank}, entropy: {entropy}, count: {count})"
+                )
             }
         }
     }
@@ -302,7 +323,7 @@ pub fn generate(cfg: &DstConfig) -> Schedule {
 }
 
 fn random_event(rng: &mut StdRng) -> DstEvent {
-    match rng.gen_range(0..120u32) {
+    match rng.gen_range(0..128u32) {
         0..=9 => DstEvent::Join { id_entropy: rng.gen(), bootstrap_rank: rng.gen() },
         10..=17 => DstEvent::Leave { victim_rank: rng.gen() },
         18..=25 => DstEvent::Crash { victim_rank: rng.gen() },
@@ -336,7 +357,12 @@ fn random_event(rng: &mut StdRng) -> DstEvent {
             duration: rng.gen_range(1..=8),
         },
         115..=117 => DstEvent::AdversarialJoin { jitter: rng.gen() },
-        _ => DstEvent::BulkJoinBlock { id_entropy: rng.gen(), count: rng.gen_range(2..=8) },
+        118..=121 => DstEvent::BulkJoinBlock { id_entropy: rng.gen(), count: rng.gen_range(2..=8) },
+        _ => DstEvent::WorkloadBurst {
+            origin_rank: rng.gen(),
+            entropy: rng.gen(),
+            count: rng.gen_range(8..=32),
+        },
     }
 }
 
@@ -699,6 +725,46 @@ impl World {
                 // bulk rewire must conserve the item total column-for-column.
                 if self.net.fork().total_items() != items_after {
                     extra.push("fork changed the item total after bulk join".into());
+                }
+            }
+            DstEvent::WorkloadBurst { origin_rank, entropy, count } => {
+                let origin = self.peer_at(origin_rank);
+                // Per-event RNG, like EstimateRefresh: the burst stays
+                // deterministic no matter what the shrinker removes.
+                let mut rng = StdRng::seed_from_u64(splitmix64(entropy));
+                let est = DfDde::new(DfDdeConfig::with_probes(8));
+                let mut plan = ProbePlan::plan(&est, &mut rng);
+                let mut batch = BatchRouter::new();
+                batch.begin_window();
+                let (lo, hi) = self.domain;
+                for i in 0..u64::from(count) {
+                    let word = splitmix64(entropy ^ (i + 1));
+                    let value = lo + (hi - lo) * ((word >> 11) as f64 / (1u64 << 53) as f64);
+                    if word % 1000 < 300 {
+                        // A reply-lost insert stores the item but reports
+                        // failure; conservation is bounded by attempts.
+                        self.inserts_attempted += 1;
+                        let _ = self.net.insert(origin, value);
+                    } else {
+                        let target = self.net.placement().place(value);
+                        if let Ok(r) = self.net.lookup_batched(origin, target, &mut batch) {
+                            plan.offer_owner(&mut self.net, r.owner);
+                        }
+                    }
+                }
+                // Dedicated probes cover whatever the traffic missed; every
+                // reply must be internally consistent whichever transport
+                // carried it.
+                if let Ok(replies) = plan.complete(&est, &mut self.net, origin, &mut rng) {
+                    for r in &replies {
+                        if r.summary.total() != r.count {
+                            extra.push(format!(
+                                "workload burst probe reply summary total {} != count {}",
+                                r.summary.total(),
+                                r.count
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -1071,6 +1137,11 @@ fn parse_event(line: &str) -> Result<DstEvent, String> {
             id_entropy: get("id_entropy")?,
             count: get("count")? as u16,
         }),
+        "WorkloadBurst" => Ok(DstEvent::WorkloadBurst {
+            origin_rank: get("origin_rank")?,
+            entropy: get("entropy")?,
+            count: get("count")? as u16,
+        }),
         other => Err(format!("unknown event: {other:?}")),
     }
 }
@@ -1095,6 +1166,28 @@ mod tests {
         let parsed = parse_repro(&text).expect("parses");
         assert_eq!(parsed, schedule);
         assert_eq!(to_repro(&parsed), text);
+    }
+
+    #[test]
+    fn workload_burst_round_trips_and_runs_clean() {
+        let schedule = Schedule {
+            seed: 0xB0057,
+            peers: 16,
+            items: 800,
+            replication: 0,
+            bug: None,
+            events: vec![
+                DstEvent::WorkloadBurst { origin_rank: 3, entropy: 0x5EED, count: 24 },
+                DstEvent::Heal,
+                DstEvent::WorkloadBurst { origin_rank: 9, entropy: 0xFACE, count: 16 },
+            ],
+        };
+        let text = to_repro(&schedule);
+        assert_eq!(parse_repro(&text).expect("parses"), schedule);
+        // The burst's inserts are counted as attempts, so the conservation
+        // oracle holds; batched routing and piggybacked probes keep every
+        // always-on invariant green on a healthy ring.
+        run_schedule(&schedule).expect("healthy serving bursts violate nothing");
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod f10_replication;
 pub mod f11_faults;
 pub mod f12_scale;
 pub mod f13_adversarial;
+pub mod f14_throughput;
 pub mod f1_probes;
 pub mod f2_network_size;
 pub mod f3_distributions;
@@ -40,6 +41,7 @@ pub use f10_replication::f10_replication;
 pub use f11_faults::f11_faults;
 pub use f12_scale::f12_scale;
 pub use f13_adversarial::f13_adversarial;
+pub use f14_throughput::f14_throughput;
 pub use f1_probes::f1_accuracy_vs_probes;
 pub use f2_network_size::f2_accuracy_vs_network_size;
 pub use f3_distributions::f3_distribution_free;
@@ -96,6 +98,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(f11_faults(scale));
     tables.extend(f12_scale(scale));
     tables.extend(f13_adversarial(scale));
+    tables.extend(f14_throughput(scale));
     tables.extend(t2_messages_to_target_accuracy(scale));
     tables.extend(t3_bias_ablation(scale));
     tables.extend(t4_probe_strategy(scale));
@@ -121,6 +124,7 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "f11" => f11_faults(scale),
         "f12" => f12_scale(scale),
         "f13" => f13_adversarial(scale),
+        "f14" => f14_throughput(scale),
         "t2" => t2_messages_to_target_accuracy(scale),
         "t3" => t3_bias_ablation(scale),
         "t4" => t4_probe_strategy(scale),
@@ -132,5 +136,5 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
 /// All experiment ids, in run order.
 pub const ALL_IDS: &[&str] = &[
     "t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
-    "t2", "t3", "t4", "t5",
+    "f14", "t2", "t3", "t4", "t5",
 ];

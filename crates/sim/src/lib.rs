@@ -28,6 +28,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod workload;
 
 pub use build::{build, build_fresh, BuiltScenario};
 pub use dst::{DstConfig, DstEvent, DstFailure, InjectedBug, Schedule};
@@ -35,3 +36,4 @@ pub use exec::{CellResult, ExecPlan};
 pub use report::Table;
 pub use runner::{aggregate, aggregate_cell, run_estimator, AggregatedResult, RunResult};
 pub use scenario::{CapacitySpec, NodeLayout, PartitionSpec, PlacementMode, Scenario};
+pub use workload::{run_workload, OpKind, OpMix, ScheduledOp, WorkloadReport, WorkloadSpec};

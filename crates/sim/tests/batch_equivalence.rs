@@ -1,0 +1,86 @@
+//! `Network::lookup_batched` ≡ per-op `Network::lookup`.
+//!
+//! Same-origin batch routing exists to amortize *charges*, never to change
+//! routing: a batched lookup must walk the identical route (same state
+//! reads, same owner, same hop count, same error on failure) and only dedup
+//! the per-window message billing. Property-tested over seeds and every
+//! node layout the scenario builders emit, mirroring `bulk_equivalence.rs`;
+//! a pinned case covers the faulted path, where dedup is disabled and the
+//! two paths must agree on charges too.
+
+use dde_ring::{BatchRouter, FaultPlan, MessageKind, RingId};
+use dde_sim::{build_fresh, NodeLayout, Scenario};
+use dde_stats::rng::{Component, SeedSequence};
+use proptest::prelude::*;
+use rand::Rng;
+
+const WINDOWS: usize = 8;
+const LOOKUPS_PER_WINDOW: usize = 16;
+
+/// Runs the same same-origin traffic through both paths and asserts
+/// route-for-route equivalence. Returns `(solo, batched)` lookup-hop
+/// message counts for the caller's billing assertion.
+fn drive(seed: u64, peers: usize, layout: NodeLayout, faults: bool) -> (u64, u64) {
+    let s =
+        Scenario::default().with_peers(peers).with_items(2_000).with_seed(seed).with_layout(layout);
+    let built = build_fresh(&s);
+    let mut solo = built.net.fork();
+    let mut batched = built.net.fork();
+    if faults {
+        // Identical plans on both forks: the decision streams are seeded, so
+        // the same contact sequence draws the same fates on both sides.
+        solo.set_fault_plan(FaultPlan::new(seed ^ 0xFA17).with_loss(0.10).with_reply_loss(0.05));
+        batched.set_fault_plan(FaultPlan::new(seed ^ 0xFA17).with_loss(0.10).with_reply_loss(0.05));
+    }
+    let ids: Vec<RingId> = solo.ids().collect();
+    let mut rng = SeedSequence::new(seed).stream(Component::Workload, 14);
+    let mut batch = BatchRouter::new();
+    for window in 0..WINDOWS {
+        let origin = ids[rng.gen_range(0..ids.len())];
+        batch.begin_window();
+        for op in 0..LOOKUPS_PER_WINDOW {
+            let target = RingId(rng.gen());
+            let a = solo.lookup(origin, target);
+            let b = batched.lookup_batched(origin, target, &mut batch);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.owner, y.owner, "window {window} op {op}: owners differ");
+                    assert_eq!(x.hops, y.hops, "window {window} op {op}: hop counts differ");
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y, "window {window} op {op}: errors differ"),
+                (a, b) => panic!("window {window} op {op}: outcomes diverge: {a:?} vs {b:?}"),
+            }
+        }
+    }
+    (solo.stats().count(MessageKind::LookupHop), batched.stats().count(MessageKind::LookupHop))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Equivalence over seeds × layouts at the sizes the quick suite runs.
+    /// Fault-free, window dedup must actually save hop charges: 16
+    /// same-origin lookups share route prefixes with near-certainty.
+    #[test]
+    fn batched_routing_matches_per_op(
+        seed in 0u64..(1u64 << 32),
+        peers in prop_oneof![Just(16usize), Just(256usize)],
+        layout in prop_oneof![
+            Just(NodeLayout::UniformIds),
+            Just(NodeLayout::LoadBalanced),
+            Just(NodeLayout::Adversarial),
+        ],
+    ) {
+        let (solo, batched) = drive(seed, peers, layout, false);
+        prop_assert!(batched < solo, "dedup saved nothing: {batched} vs {solo}");
+    }
+}
+
+/// With a fault plan installed, dedup is disabled (fault fates are stateful
+/// per-contact draws): the batched path must degrade to *exactly* the
+/// per-op behaviour — same outcomes and the same charges.
+#[test]
+fn batched_routing_under_faults_degrades_to_per_op() {
+    let (solo, batched) = drive(0xBA7C, 64, NodeLayout::UniformIds, true);
+    assert_eq!(solo, batched, "faulted batched routing must bill exactly like per-op");
+}

@@ -8,7 +8,8 @@
 //! estimator grids (f1, f3), per-run self-building cells (f5), cells with
 //! fault-plan setup closures (f11), the bulk-built mega-scale sweep (f12),
 //! and the adversarial axis pack whose fault plans and crowds ride in the
-//! scenario itself (f13).
+//! scenario itself (f13), and the open-loop serving engine whose cells each
+//! drive thousands of foreground ops (f14).
 
 use dde_core::{DfDde, DfDdeConfig};
 use dde_sim::exec;
@@ -26,7 +27,7 @@ fn render(tables: &[Table]) -> (String, String) {
 /// global and libtest runs `#[test]`s concurrently.
 #[test]
 fn quick_suite_is_byte_identical_across_jobs() {
-    for id in ["f1", "f3", "f5", "f11", "f12", "f13"] {
+    for id in ["f1", "f3", "f5", "f11", "f12", "f13", "f14"] {
         exec::set_jobs(1);
         let serial = render(&run_by_id(id, Scale::Quick).expect("known id"));
 

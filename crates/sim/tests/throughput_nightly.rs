@@ -1,0 +1,75 @@
+//! Nightly wall-clock budget for the serving engine.
+//!
+//! The tentpole claim behind F14: the open-loop workload driver serves its
+//! full rate × mix sweep in seconds, because the serving hot path stays
+//! allocation-free (batched routing reuses one `BatchRouter` edge buffer),
+//! probe piggybacking displaces dedicated Phase-1 traffic instead of adding
+//! its own, and virtual time means a 1600 ops/s cell costs only as much as
+//! its op count. On top of the budget, this re-asserts the F14 acceptance
+//! bar at the full-scale mid rate — piggybacking must cut dedicated probe
+//! messages by ≥ 50% while the estimate stays inside the DKW band — so the
+//! numbers recorded in BENCH_throughput.json are regression-fenced.
+//!
+//! `#[ignore]`d: this is a release-build budget assertion, meaningless under
+//! the debug profile. The nightly workflow runs it as
+//! `cargo test --release -p dde-sim --test throughput_nightly -- --ignored`.
+
+use dde_sim::experiments::f14_throughput::{f14_scenario, f14_spec, mid_rate, PROBES};
+use dde_sim::experiments::{run_by_id, Scale};
+use dde_sim::{build, run_workload, OpMix};
+use dde_stats::assert::KsBand;
+
+/// Generous ceiling over the measured full-sweep time (≈2 s on the 1-core
+/// reference container; see BENCH_throughput.json): the assert exists to
+/// catch a serving-path regression — per-op reallocation, piggybacking that
+/// stops displacing probes, a refresh loop gone quadratic — not
+/// constant-factor noise.
+const BUDGET_SECS: u64 = 30;
+
+#[test]
+#[ignore = "release-build wall-clock budget; run via nightly CI with --release -- --ignored"]
+fn full_throughput_sweep_serves_within_budget() {
+    // ddelint::allow(wallclock, "timing-only: bounds the nightly budget assert, never an experiment value")
+    let start = std::time::Instant::now();
+    let tables = run_by_id("f14", Scale::Full).expect("known id");
+    let sweep_elapsed = start.elapsed();
+
+    assert_eq!(tables.len(), 2, "f14 emits a rate table and a mix table");
+    for t in &tables {
+        assert!(!t.to_text().is_empty());
+    }
+
+    // The acceptance bar, re-measured at the full-scale mid rate: serving
+    // mode must halve dedicated probe traffic without moving the estimate.
+    let scale = Scale::Full;
+    let built = build(&f14_scenario(scale));
+    let mix = OpMix::new(200, 700);
+    let plain = run_workload(&built, &f14_spec(mid_rate(scale), mix, false, scale), 0);
+    let serving = run_workload(&built, &f14_spec(mid_rate(scale), mix, true, scale), 0);
+    assert!(
+        serving.dedicated_probes * 2 <= plain.dedicated_probes,
+        "piggybacking must cut dedicated probes >= 50%: {} vs {}",
+        serving.dedicated_probes,
+        plain.dedicated_probes
+    );
+    assert!(serving.lookup_hop_msgs < plain.lookup_hop_msgs, "batch dedup must save hop charges");
+    let band = KsBand::new(PROBES, 1e-3).with_systematic(0.08);
+    band.assert("plain-mode estimate (nightly)", plain.est_ks);
+    band.assert("serving-mode estimate (nightly)", serving.est_ks);
+
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs() < BUDGET_SECS,
+        "F14 full sweep + acceptance cell took {elapsed:?}, budget {BUDGET_SECS}s — \
+         a serving path regressed"
+    );
+    eprintln!(
+        "[throughput-nightly] sweep {sweep_elapsed:.2?}, total {elapsed:.2?} (budget {BUDGET_SECS}s); \
+         dedicated probes {} -> {} ({:.0}% saved), est ks {:.4} / {:.4}",
+        plain.dedicated_probes,
+        serving.dedicated_probes,
+        (1.0 - serving.dedicated_probes as f64 / plain.dedicated_probes as f64) * 100.0,
+        plain.est_ks,
+        serving.est_ks,
+    );
+}

@@ -111,7 +111,14 @@ impl GkSketch {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        // Order-statistic rank `⌊q·(n−1)⌋ + 1`, not nearest-rank `⌈q·n⌉`:
+        // the ceiling convention collapses every tail quantile to rank `n`
+        // once `q ≥ 1 − 1/n`, so p99 on a small sample silently becomes the
+        // max element. The interior convention keeps q = 0 on the exact min
+        // and q = 1 on the exact max while tail queries land on a real
+        // interior rank (pinned by `tail_quantiles_are_interior_ranks`).
+        let rank =
+            (((q * (self.count as f64 - 1.0)).floor() as u64).saturating_add(1)).min(self.count);
         let err = (self.epsilon * self.count as f64) as u64;
 
         let mut rmin = 0u64;
@@ -253,6 +260,32 @@ mod tests {
         }
         assert_eq!(sketch.quantile(0.0).unwrap(), -50.0);
         assert_eq!(sketch.quantile(1.0).unwrap(), 100.0);
+    }
+
+    /// Closed-form pin of the tail-rank fix: with ε small enough that no
+    /// compression ever fires (`⌊2εn⌋ = 0`), the sketch stores every value
+    /// exactly, so `quantile(q)` must return precisely the order statistic
+    /// at rank `⌊q·(n−1)⌋ + 1`. Under the old `⌈q·n⌉` convention, p99 on
+    /// these sample counts returned the max element.
+    #[test]
+    fn tail_quantiles_are_interior_ranks() {
+        for n in [10u64, 50, 100] {
+            let mut sketch = GkSketch::new(0.001);
+            for i in 0..n {
+                sketch.insert(i as f64);
+            }
+            // p99 must be an interior element, not the max, for n ≤ 100.
+            let p99 = sketch.quantile(0.99).unwrap();
+            let expect = ((0.99 * (n as f64 - 1.0)).floor()) as u64;
+            assert_eq!(p99, expect as f64, "p99 of 0..{n}");
+            assert!(p99 < (n - 1) as f64, "p99 of {n} samples collapsed to the max");
+            // p999 likewise stays interior below n = 1000.
+            let p999 = sketch.quantile(0.999).unwrap();
+            assert!(p999 < (n - 1) as f64, "p999 of {n} samples collapsed to the max");
+            // The endpoints stay exact.
+            assert_eq!(sketch.quantile(0.0).unwrap(), 0.0);
+            assert_eq!(sketch.quantile(1.0).unwrap(), (n - 1) as f64);
+        }
     }
 
     #[test]
