@@ -62,6 +62,9 @@ impl ProbePlan {
     /// Offers a foreground lookup's resolved `owner` to the plan: every
     /// still-uncovered point that `owner` believes it owns is harvested as a
     /// piggybacked reply. Returns how many points this call covered.
+    ///
+    /// Determinism: draws no randomness; harvest order is the plan's fixed
+    /// stratum order, so identical network state yields identical replies.
     pub fn offer_owner(&mut self, net: &mut Network, owner: RingId) -> usize {
         let mut harvested = 0;
         for (slot, &point) in self.replies.iter_mut().zip(&self.points) {
@@ -77,22 +80,23 @@ impl ProbePlan {
         harvested
     }
 
-    /// Points not yet covered by a reply.
+    /// Points not yet covered by a reply. Deterministic read of plan state.
     pub fn pending(&self) -> usize {
         self.replies.iter().filter(|r| r.is_none()).count()
     }
 
-    /// Replies that arrived by piggyback.
+    /// Replies that arrived by piggyback. Deterministic read of plan state.
     pub fn piggybacked(&self) -> usize {
         self.piggybacked
     }
 
-    /// Total planned probe points.
+    /// Total planned probe points. Deterministic read of plan state.
     pub fn len(&self) -> usize {
         self.points.len()
     }
 
-    /// Whether the plan holds no points at all.
+    /// Whether the plan holds no points at all. Deterministic read of plan
+    /// state.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
@@ -103,6 +107,10 @@ impl ProbePlan {
     /// as [`DfDde::run_probes`]) and returns all replies in stratum order.
     /// A probe whose attempts run out is skipped; the skeleton degrades
     /// gracefully.
+    ///
+    /// Determinism: randomness comes only from the caller-supplied RNG
+    /// stream (retry redraws), in fixed stratum order — identical inputs,
+    /// network state, and RNG state produce identical replies and billing.
     pub fn complete(
         mut self,
         estimator: &DfDde,

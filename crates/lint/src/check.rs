@@ -1,9 +1,22 @@
-//! Per-file rule checking: needle scan, `#[cfg(test)]` regions, the
-//! `ddelint::allow` grammar, and the D6 doc-contract rule.
+//! Rule checking: the per-file passes (needle scan, `#[cfg(test)]` regions,
+//! the `ddelint::allow` grammar, D3 alias resolution, the D6 doc-contract
+//! rule) and the workspace-level orchestration that layers the cross-file
+//! rules (D8 taint, D9 exhaustiveness, D10 sans-IO) on top.
+//!
+//! A [`FileCheck`] holds one file's lexed mask, parsed items, allows, and
+//! accumulated raw violations. [`check_workspace`] builds one per file,
+//! runs the per-file passes, hands the set to the graph-based passes, and
+//! only then applies allows — so a `ddelint::allow(det-taint, ...)` works
+//! exactly like an allow for a needle rule, and a stale one still trips A1.
 
+use crate::graph::SymbolGraph;
 use crate::lexer::{lex, Lexed};
+use crate::parse::{in_regions, parse, test_regions, ParsedFile};
 use crate::policy;
 use crate::rules::{Boundary, RuleId, NEEDLES};
+use crate::{proto, taint};
+
+use std::collections::BTreeSet;
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +70,7 @@ fn is_ident_byte(b: u8) -> bool {
 }
 
 /// Extracts the trimmed source line containing `byte`, capped for display.
-fn snippet_at(src: &str, lexed: &Lexed, byte: usize) -> String {
+pub(crate) fn snippet_at(src: &str, lexed: &Lexed, byte: usize) -> String {
     let (line, _) = lexed.pos(byte);
     let (start, end) = lexed.line_span(line);
     let text = src[start..end].trim();
@@ -70,58 +83,6 @@ fn snippet_at(src: &str, lexed: &Lexed, byte: usize) -> String {
     } else {
         text.to_string()
     }
-}
-
-/// Byte ranges of `#[cfg(test)]`-gated items (modules or functions), found
-/// by brace-matching in the code mask so braces inside literals can't
-/// confuse the span.
-fn test_regions(mask: &str) -> Vec<(usize, usize)> {
-    let bytes = mask.as_bytes();
-    let mut regions = Vec::new();
-    let mut from = 0;
-    while let Some(rel) = mask[from..].find("#[cfg(test)]") {
-        let attr = from + rel;
-        let mut i = attr + "#[cfg(test)]".len();
-        // Walk to the gated item's opening brace; stop at `;` (a gated
-        // `use`/`mod foo;` has no body to skip).
-        let mut open = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    open = Some(i);
-                    break;
-                }
-                b';' => break,
-                _ => i += 1,
-            }
-        }
-        if let Some(start) = open {
-            let mut depth = 0usize;
-            let mut j = start;
-            while j < bytes.len() {
-                match bytes[j] {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-            regions.push((attr, j + 1));
-            from = j + 1;
-        } else {
-            from = i.max(attr + 1);
-        }
-    }
-    regions
-}
-
-fn in_regions(regions: &[(usize, usize)], byte: usize) -> bool {
-    regions.iter().any(|&(a, b)| byte >= a && byte < b)
 }
 
 /// Parses every `ddelint::allow(rule, reason)` escape in the file's
@@ -219,164 +180,277 @@ fn parse_allows(src: &str, lexed: &Lexed, path: &str, out: &mut Vec<Violation>) 
     allows
 }
 
-/// Scans the code mask for the textual needles D1–D5.
-fn scan_needles(
-    src: &str,
-    lexed: &Lexed,
-    path: &str,
-    regions: &[(usize, usize)],
-    out: &mut Vec<Violation>,
-) {
-    let mask = lexed.mask.as_bytes();
-    for needle in NEEDLES {
-        if !policy::applies(needle.rule, path) {
-            continue;
+/// One file mid-lint: lexed, parsed, allows collected, raw violations
+/// accumulating. The workspace passes append to `raw` via [`FileCheck::push`];
+/// [`FileCheck::finish`] applies allows and reports stale ones.
+pub struct FileCheck {
+    /// Workspace-relative path (rule scoping is path-driven).
+    pub path: String,
+    /// Original source text.
+    pub src: String,
+    /// Lexed mask and comment list.
+    pub lexed: Lexed,
+    /// Parsed items (fns, uses, enums).
+    pub parsed: ParsedFile,
+    regions: Vec<(usize, usize)>,
+    allows: Vec<Allow>,
+    raw: Vec<Violation>,
+}
+
+impl FileCheck {
+    /// Lexes, parses, and runs all per-file passes on one file.
+    pub fn new(path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let regions = test_regions(&lexed.mask);
+        let mut raw = Vec::new();
+        let allows = parse_allows(src, &lexed, path, &mut raw);
+        let mut fc = Self {
+            path: path.to_string(),
+            src: src.to_string(),
+            lexed,
+            parsed,
+            regions,
+            allows,
+            raw,
+        };
+        fc.scan_needles();
+        fc.check_d3_aliases();
+        fc.check_d6();
+        fc
+    }
+
+    /// Whether `byte` sits inside a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, byte: usize) -> bool {
+        in_regions(&self.regions, byte)
+    }
+
+    /// Lines covered by an allow for `rule` (for taint-source defusing).
+    pub fn allowed_lines(&self, rule: RuleId) -> BTreeSet<usize> {
+        self.allows
+            .iter()
+            .filter(|a| a.rule == rule)
+            .flat_map(|a| a.lines.iter().copied())
+            .collect()
+    }
+
+    /// Appends a raw violation (allows are applied at [`FileCheck::finish`]).
+    pub fn push(&mut self, v: Violation) {
+        self.raw.push(v);
+    }
+
+    /// Scans the code mask for the textual needles (D1–D5, D7).
+    fn scan_needles(&mut self) {
+        let mask = self.lexed.mask.as_bytes();
+        for needle in NEEDLES {
+            if !policy::applies(needle.rule, &self.path) {
+                continue;
+            }
+            let pat = needle.text.as_bytes();
+            let mut from = 0;
+            while let Some(rel) = self.lexed.mask[from..].find(needle.text) {
+                let at = from + rel;
+                from = at + 1;
+                let head_ok = match needle.boundary {
+                    Boundary::Ident => at == 0 || !is_ident_byte(mask[at - 1]),
+                    Boundary::Exact => true,
+                };
+                let end = at + pat.len();
+                let tail_ok = match needle.boundary {
+                    Boundary::Ident => end >= mask.len() || !is_ident_byte(mask[end]),
+                    Boundary::Exact => true,
+                };
+                if !head_ok || !tail_ok {
+                    continue;
+                }
+                if policy::test_exempt(needle.rule) && in_regions(&self.regions, at) {
+                    continue;
+                }
+                let (line, col) = self.lexed.pos(at);
+                self.raw.push(Violation {
+                    path: self.path.clone(),
+                    line,
+                    col,
+                    rule: needle.rule,
+                    message: format!("`{}` — {}", needle.text, needle.rule.describe()),
+                    snippet: snippet_at(&self.src, &self.lexed, at),
+                });
+            }
         }
-        let pat = needle.text.as_bytes();
+    }
+
+    /// D3 through the symbol table: a `use ... as Alias` whose target is an
+    /// unordered map is flagged at every *usage* of the alias, not just at
+    /// the declaration the needle scan already catches — so allowing the
+    /// declaration line cannot quietly bless a whole file of `Map::new()`.
+    fn check_d3_aliases(&mut self) {
+        if !policy::applies(RuleId::D3, &self.path) {
+            return;
+        }
+        let mask = self.lexed.mask.as_bytes();
+        for alias in &self.parsed.uses {
+            let Some(target) = alias.segments.last() else { continue };
+            if target != "HashMap" && target != "HashSet" {
+                continue;
+            }
+            if alias.name == *target {
+                continue; // Unaliased import: usages carry the needle name.
+            }
+            let decl_line = self.lexed.line_of(alias.at);
+            let mut from = 0;
+            while let Some(rel) = self.lexed.mask[from..].find(alias.name.as_str()) {
+                let at = from + rel;
+                from = at + 1;
+                let end = at + alias.name.len();
+                let head_ok = at == 0 || !is_ident_byte(mask[at - 1]);
+                let tail_ok = end >= mask.len() || !is_ident_byte(mask[end]);
+                if !head_ok || !tail_ok {
+                    continue;
+                }
+                if self.lexed.line_of(at) == decl_line {
+                    continue; // The declaration itself is the needle's catch.
+                }
+                let (line, col) = self.lexed.pos(at);
+                self.raw.push(Violation {
+                    path: self.path.clone(),
+                    line,
+                    col,
+                    rule: RuleId::D3,
+                    message: format!(
+                        "`{}` is `{}` under an alias — {}",
+                        alias.name,
+                        alias.segments.join("::"),
+                        RuleId::D3.describe()
+                    ),
+                    snippet: snippet_at(&self.src, &self.lexed, at),
+                });
+            }
+        }
+    }
+
+    /// D6: every `pub fn` in an estimator module carries a doc comment
+    /// naming its determinism contract (any doc line mentioning
+    /// "determinis…").
+    fn check_d6(&mut self) {
+        if !policy::applies(RuleId::D6, &self.path) {
+            return;
+        }
+        let mask = self.lexed.mask.as_bytes();
         let mut from = 0;
-        while let Some(rel) = lexed.mask[from..].find(needle.text) {
+        while let Some(rel) = self.lexed.mask[from..].find("pub fn") {
             let at = from + rel;
             from = at + 1;
-            let head_ok = match needle.boundary {
-                Boundary::Ident => at == 0 || !is_ident_byte(mask[at - 1]),
-                Boundary::Exact => true,
-            };
-            let end = at + pat.len();
-            let tail_ok = match needle.boundary {
-                Boundary::Ident => end >= mask.len() || !is_ident_byte(mask[end]),
-                Boundary::Exact => true,
-            };
-            if !head_ok || !tail_ok {
+            let head_ok = at == 0 || !is_ident_byte(mask[at - 1]);
+            let end = at + "pub fn".len();
+            let tail_ok = end < mask.len() && mask[end] == b' ';
+            if !head_ok || !tail_ok || in_regions(&self.regions, at) {
                 continue;
             }
-            if policy::test_exempt(needle.rule) && in_regions(regions, at) {
-                continue;
+            let (line, col) = self.lexed.pos(at);
+            // Walk upward over the item's contiguous header: doc comments and
+            // attributes directly above the `pub fn` line.
+            let mut docs = String::new();
+            let mut up = line;
+            while up > 1 {
+                up -= 1;
+                let (ls, le) = self.lexed.line_span(up);
+                let code = self.lexed.mask[ls..le].trim();
+                let text = self.src[ls..le].trim();
+                if text.starts_with("///") {
+                    docs.push_str(text);
+                    docs.push('\n');
+                } else if code.starts_with("#[") || (code.is_empty() && text.starts_with("//")) {
+                    // Attribute or an ordinary comment inside the header —
+                    // keep climbing (allow comments live here too).
+                } else {
+                    break;
+                }
             }
-            let (line, col) = lexed.pos(at);
-            out.push(Violation {
-                path: path.to_string(),
-                line,
-                col,
-                rule: needle.rule,
-                message: format!("`{}` — {}", needle.text, needle.rule.describe()),
-                snippet: snippet_at(src, lexed, at),
-            });
-        }
-    }
-}
-
-/// D6: every `pub fn` in an estimator module carries a doc comment naming
-/// its determinism contract (any doc line mentioning "determinis…").
-fn check_d6(
-    src: &str,
-    lexed: &Lexed,
-    path: &str,
-    regions: &[(usize, usize)],
-    out: &mut Vec<Violation>,
-) {
-    if !policy::applies(RuleId::D6, path) {
-        return;
-    }
-    let mask = lexed.mask.as_bytes();
-    let mut from = 0;
-    while let Some(rel) = lexed.mask[from..].find("pub fn") {
-        let at = from + rel;
-        from = at + 1;
-        let head_ok = at == 0 || !is_ident_byte(mask[at - 1]);
-        let end = at + "pub fn".len();
-        let tail_ok = end < mask.len() && mask[end] == b' ';
-        if !head_ok || !tail_ok || in_regions(regions, at) {
-            continue;
-        }
-        let (line, col) = lexed.pos(at);
-        // Walk upward over the item's contiguous header: doc comments and
-        // attributes directly above the `pub fn` line.
-        let mut docs = String::new();
-        let mut up = line;
-        while up > 1 {
-            up -= 1;
-            let (ls, le) = lexed.line_span(up);
-            let code = lexed.mask[ls..le].trim();
-            let text = src[ls..le].trim();
-            if text.starts_with("///") {
-                docs.push_str(text);
-                docs.push('\n');
-            } else if code.starts_with("#[") || (code.is_empty() && text.starts_with("//")) {
-                // Attribute or an ordinary comment inside the header — keep
-                // climbing (allow comments live here too).
+            let lower = docs.to_lowercase();
+            let message = if docs.is_empty() {
+                Some("pub fn has no doc comment; document its determinism contract")
+            } else if !lower.contains("determinis") {
+                Some("doc comment does not name the fn's determinism contract")
             } else {
-                break;
+                None
+            };
+            if let Some(message) = message {
+                self.raw.push(Violation {
+                    path: self.path.clone(),
+                    line,
+                    col,
+                    rule: RuleId::D6,
+                    message: message.to_string(),
+                    snippet: snippet_at(&self.src, &self.lexed, at),
+                });
             }
         }
-        let lower = docs.to_lowercase();
-        let message = if docs.is_empty() {
-            Some("pub fn has no doc comment; document its determinism contract")
-        } else if !lower.contains("determinis") {
-            Some("doc comment does not name the fn's determinism contract")
-        } else {
-            None
-        };
-        if let Some(message) = message {
-            out.push(Violation {
-                path: path.to_string(),
-                line,
-                col,
-                rule: RuleId::D6,
-                message: message.to_string(),
-                snippet: snippet_at(src, lexed, at),
-            });
+    }
+
+    /// Applies allows, reports stale ones (A1), and returns this file's
+    /// violations sorted by position.
+    pub fn finish(mut self) -> Vec<Violation> {
+        let allows = &mut self.allows;
+        let mut kept: Vec<Violation> = self
+            .raw
+            .into_iter()
+            .filter(|v| {
+                if matches!(v.rule, RuleId::A0 | RuleId::A1) {
+                    return true;
+                }
+                for allow in allows.iter_mut() {
+                    if allow.rule == v.rule && allow.lines.contains(&v.line) {
+                        allow.used = true;
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect();
+
+        for allow in allows.iter() {
+            if !allow.used {
+                kept.push(Violation {
+                    path: self.path.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    rule: RuleId::A1,
+                    message: format!(
+                        "allow for {}[{}] suppressed nothing — remove the stale escape",
+                        allow.rule.code(),
+                        allow.rule.name()
+                    ),
+                    snippet: snippet_at(&self.src, &self.lexed, allow.at),
+                });
+            }
         }
+
+        kept.sort_by_key(|a| (a.line, a.col, a.rule));
+        kept
     }
 }
 
-/// Checks one file, returning its violations sorted by position.
+/// Checks one file in isolation (per-file rules only), returning its
+/// violations sorted by position.
 ///
 /// `path` must be workspace-relative with `/` separators — rule scoping is
 /// path-driven, so the same contents lint differently under different paths
-/// (which is what the fixture tests exploit).
+/// (which is what the fixture tests exploit). The cross-file rules (D8, D9,
+/// D10) need the whole corpus; use [`check_workspace`] for those.
 pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
-    let lexed = lex(src);
-    let regions = test_regions(&lexed.mask);
-    let mut raw = Vec::new();
-    let mut allows = parse_allows(src, &lexed, path, &mut raw);
-    scan_needles(src, &lexed, path, &regions, &mut raw);
-    check_d6(src, &lexed, path, &regions, &mut raw);
+    FileCheck::new(path, src).finish()
+}
 
-    // Apply allows: a violation on a covered line with a matching rule is
-    // suppressed and marks the allow used.
-    let mut kept: Vec<Violation> = raw
-        .into_iter()
-        .filter(|v| {
-            if matches!(v.rule, RuleId::A0 | RuleId::A1) {
-                return true;
-            }
-            for allow in &mut allows {
-                if allow.rule == v.rule && allow.lines.contains(&v.line) {
-                    allow.used = true;
-                    return false;
-                }
-            }
-            true
-        })
-        .collect();
-
-    for allow in &allows {
-        if !allow.used {
-            kept.push(Violation {
-                path: path.to_string(),
-                line: allow.line,
-                col: allow.col,
-                rule: RuleId::A1,
-                message: format!(
-                    "allow for {}[{}] suppressed nothing — remove the stale escape",
-                    allow.rule.code(),
-                    allow.rule.name()
-                ),
-                snippet: snippet_at(src, &lexed, allow.at),
-            });
-        }
-    }
-
-    kept.sort_by_key(|a| (a.line, a.col, a.rule));
-    kept
+/// Checks a whole corpus of files: per-file rules, then the symbol-graph
+/// passes (D8 taint, D9 exhaustiveness, D10 sans-IO), then allow
+/// application. Violations come back grouped per file in input order, each
+/// file's sorted by position — deterministic in the input.
+pub fn check_workspace(inputs: &[(String, String)]) -> Vec<Violation> {
+    let mut files: Vec<FileCheck> =
+        inputs.iter().map(|(path, src)| FileCheck::new(path, src)).collect();
+    let graph = SymbolGraph::build(&files);
+    taint::check_d8(&mut files, &graph);
+    proto::check_d9(&mut files);
+    proto::check_d10(&mut files);
+    files.into_iter().flat_map(FileCheck::finish).collect()
 }

@@ -1,0 +1,423 @@
+//! The workspace symbol graph: every `fn` item in every linted file, plus
+//! heuristically resolved call edges between them.
+//!
+//! Resolution is deliberately conservative — a wrong edge turns into a false
+//! taint report, a missing edge into a missed one, and for a tier-0 gate the
+//! former is worse. The rules:
+//!
+//! - **Method calls** (`x.name(...)`) resolve only when exactly one `impl`
+//!   fn in the whole workspace bears that name *and* the name is not a
+//!   common standard-library method (`len`, `iter`, `clone`, ... — the
+//!   [`METHOD_STOPLIST`]); otherwise no edge.
+//! - **Qualified calls** (`a::b::name(...)`) resolve through the caller
+//!   file's `use` aliases, then match the qualifying segment against the
+//!   callee's `impl` type, enclosing module, file stem, or crate name.
+//!   `Self::name(...)` takes the caller's own `impl` type as qualifier.
+//! - **Bare calls** (`name(...)`) prefer a same-file fn, then same-crate,
+//!   then a `use`-imported one; cross-crate bare names never edge.
+//!
+//! All containers are `BTreeMap`/sorted vecs — the linter holds itself to
+//! its own D3 discipline so report order is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::check::FileCheck;
+use crate::parse::{Call, FnItem};
+
+/// Common standard-library method names that must never resolve to a
+/// workspace `impl` fn that happens to share the name: `results.iter()`
+/// must not edge into `Bencher::iter`.
+pub const METHOD_STOPLIST: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "binary_search_by_key",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "chunks",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "default",
+    "drain",
+    "drop",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "exp",
+    "expect",
+    "extend",
+    "fill",
+    "fill_bytes",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fmt",
+    "fold",
+    "from",
+    "from_seed",
+    "gen",
+    "gen_bool",
+    "gen_range",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "ln",
+    "log2",
+    "map",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "new",
+    "next",
+    "next_u32",
+    "next_u64",
+    "ok",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "read",
+    "record",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "sample",
+    "seed_from_u64",
+    "shuffle",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "split",
+    "split_whitespace",
+    "sqrt",
+    "starts_with",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "trim",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "with_capacity",
+    "write",
+    "zip",
+];
+
+/// One node: the fn at `files[file].parsed.fns[item]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Calling fn.
+    pub from: NodeId,
+    /// Called fn.
+    pub to: NodeId,
+    /// Byte offset of the call site in the caller's file.
+    pub at: usize,
+}
+
+/// A fn node's location.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Index into the file list the graph was built from.
+    pub file: usize,
+    /// Index into that file's `parsed.fns`.
+    pub item: usize,
+}
+
+/// The crate-ish component of a workspace-relative path: `core` for
+/// `crates/core/src/dfdde.rs`, `rand` for `shims/rand/src/lib.rs`, the first
+/// path component otherwise (`tests`, `xtask`, ...).
+pub fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") | Some("shims") => parts.next().unwrap_or(""),
+        Some(first) => first,
+        None => "",
+    }
+}
+
+/// The file stem: `dfdde` for `crates/core/src/dfdde.rs`.
+pub fn file_stem(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path).trim_end_matches(".rs")
+}
+
+/// The workspace symbol graph. Build once per lint run with [`SymbolGraph::build`].
+pub struct SymbolGraph {
+    /// All fn nodes, in (file, item) order.
+    pub nodes: Vec<Node>,
+    /// All resolved edges, sorted and deduplicated.
+    pub edges: Vec<Edge>,
+    /// Callers of each node: reverse adjacency as indexes into `edges`.
+    callers: BTreeMap<NodeId, Vec<usize>>,
+    /// Fn name → node ids bearing it.
+    by_name: BTreeMap<String, Vec<NodeId>>,
+}
+
+impl SymbolGraph {
+    /// Builds the graph over the given files. Deterministic in the input.
+    pub fn build(files: &[FileCheck]) -> Self {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, f) in file.parsed.fns.iter().enumerate() {
+                let id = NodeId(nodes.len());
+                nodes.push(Node { file: fi, item: ii });
+                by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        let graph = Self { nodes, edges: Vec::new(), callers: BTreeMap::new(), by_name };
+
+        let mut edges = BTreeSet::new();
+        for (fi, file) in files.iter().enumerate() {
+            // The caller file's alias map: local name → full path segments.
+            let aliases: BTreeMap<&str, &[String]> =
+                file.parsed.uses.iter().map(|u| (u.name.as_str(), u.segments.as_slice())).collect();
+            for (ii, f) in file.parsed.fns.iter().enumerate() {
+                let from = graph.node_of(fi, ii).expect("every parsed fn has a node");
+                for call in &f.calls {
+                    for to in graph.resolve(call, fi, f, files, &aliases) {
+                        if to != from {
+                            edges.insert(Edge { from, to, at: call.at });
+                        }
+                    }
+                }
+            }
+        }
+        let edges: Vec<Edge> = edges.into_iter().collect();
+        let mut callers: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            callers.entry(e.to).or_default().push(i);
+        }
+        Self { edges, callers, ..graph }
+    }
+
+    /// The node for `files[file].parsed.fns[item]`, if present.
+    pub fn node_of(&self, file: usize, item: usize) -> Option<NodeId> {
+        // Nodes are appended in (file, item) order; binary search on that key.
+        self.nodes.binary_search_by_key(&(file, item), |n| (n.file, n.item)).ok().map(NodeId)
+    }
+
+    /// The fn item behind a node.
+    pub fn fn_of<'a>(&self, files: &'a [FileCheck], id: NodeId) -> &'a FnItem {
+        let n = self.nodes[id.0];
+        &files[n.file].parsed.fns[n.item]
+    }
+
+    /// The file index behind a node.
+    pub fn file_of(&self, id: NodeId) -> usize {
+        self.nodes[id.0].file
+    }
+
+    /// Edges whose callee is `id`.
+    pub fn callers_of(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.callers.get(&id).into_iter().flatten().map(|&i| &self.edges[i])
+    }
+
+    /// Nodes named `name`.
+    pub fn named(&self, name: &str) -> &[NodeId] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Resolves one call site to candidate callee nodes (possibly none).
+    fn resolve(
+        &self,
+        call: &Call,
+        caller_file: usize,
+        caller: &FnItem,
+        files: &[FileCheck],
+        aliases: &BTreeMap<&str, &[String]>,
+    ) -> Vec<NodeId> {
+        let name = call.segments.last().map_or("", String::as_str);
+        let candidates = self.named(name);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        if call.is_method {
+            if METHOD_STOPLIST.contains(&name) {
+                return Vec::new();
+            }
+            let impl_fns: Vec<NodeId> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.fn_of(files, id).impl_type.is_some())
+                .collect();
+            return if impl_fns.len() == 1 { impl_fns } else { Vec::new() };
+        }
+        if call.segments.len() >= 2 {
+            // Expand the leading segment through the caller file's uses, then
+            // qualify by the segment directly before the name.
+            let mut segs: Vec<String> = call.segments.clone();
+            if let Some(full) = aliases.get(segs[0].as_str()) {
+                let mut expanded: Vec<String> = full.to_vec();
+                expanded.extend(segs[1..].iter().cloned());
+                segs = expanded;
+            }
+            let mut qual = segs[segs.len() - 2].as_str();
+            if qual == "Self" {
+                qual = caller.impl_type.as_deref().unwrap_or("");
+            }
+            if matches!(qual, "crate" | "self" | "super" | "") {
+                // `crate::name(...)`: fall through to bare-call resolution
+                // within the caller's crate.
+                return self.resolve_bare(name, caller_file, files, aliases);
+            }
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let f = self.fn_of(files, id);
+                    let path = files[self.file_of(id)].path.as_str();
+                    f.impl_type.as_deref() == Some(qual)
+                        || f.modules.iter().any(|m| m == qual)
+                        || file_stem(path) == qual
+                        || crate_of(path) == qual
+                })
+                .collect();
+        }
+        self.resolve_bare(name, caller_file, files, aliases)
+    }
+
+    fn resolve_bare(
+        &self,
+        name: &str,
+        caller_file: usize,
+        files: &[FileCheck],
+        aliases: &BTreeMap<&str, &[String]>,
+    ) -> Vec<NodeId> {
+        let candidates = self.named(name);
+        let same_file: Vec<NodeId> =
+            candidates.iter().copied().filter(|&id| self.file_of(id) == caller_file).collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let caller_crate = crate_of(&files[caller_file].path);
+        let same_crate: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&id| crate_of(&files[self.file_of(id)].path) == caller_crate)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        if let Some(full) = aliases.get(name) {
+            // `use rand::thread_rng;` then `thread_rng()` — qualify by the
+            // segment before the imported name.
+            let qual = full.len().checked_sub(2).map_or("", |i| full[i].as_str());
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let f = self.fn_of(files, id);
+                    let path = files[self.file_of(id)].path.as_str();
+                    qual.is_empty()
+                        || f.impl_type.as_deref() == Some(qual)
+                        || f.modules.iter().any(|m| m == qual)
+                        || file_stem(path) == qual
+                        || crate_of(path) == qual
+                })
+                .collect();
+        }
+        Vec::new()
+    }
+
+    /// A stable display label for a node: `path::[Type::]name`.
+    pub fn label(&self, files: &[FileCheck], id: NodeId) -> String {
+        let f = self.fn_of(files, id);
+        let path = &files[self.file_of(id)].path;
+        match &f.impl_type {
+            Some(t) => format!("{path}::{t}::{}", f.name),
+            None => format!("{path}::{}", f.name),
+        }
+    }
+
+    /// Renders the graph as Graphviz DOT, clustered by crate. Deterministic.
+    pub fn to_dot(&self, files: &[FileCheck]) -> String {
+        let mut out =
+            String::from("digraph ddelint {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n");
+        // Group node declarations by crate for readability.
+        let mut by_crate: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            by_crate.entry(crate_of(&files[n.file].path)).or_default().push(NodeId(i));
+        }
+        for (krate, ids) in &by_crate {
+            out.push_str(&format!("  subgraph \"cluster_{krate}\" {{\n    label=\"{krate}\";\n"));
+            for &id in ids {
+                out.push_str(&format!("    n{} [label=\"{}\"];\n", id.0, self.label(files, id)));
+            }
+            out.push_str("  }\n");
+        }
+        let mut seen = BTreeSet::new();
+        for e in &self.edges {
+            if seen.insert((e.from, e.to)) {
+                out.push_str(&format!("  n{} -> n{};\n", e.from.0, e.to.0));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}

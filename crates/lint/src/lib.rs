@@ -6,21 +6,31 @@
 //! ambient entropy feeds experiment results, no unordered-map iteration in
 //! deterministic paths. This crate turns that convention into machine-checked
 //! law. It is dependency-free (no `syn`; the workspace builds offline): a
-//! byte-exact [`lexer`] classifies code vs comments vs literals, [`rules`]
-//! defines the needle set D1–D6, [`policy`] scopes each rule to paths, and
-//! [`check`] applies them with inline `// ddelint::allow(rule, reason)`
-//! escapes.
+//! byte-exact [`lexer`] classifies code vs comments vs literals, [`parse`]
+//! lifts the mask into items (fns, uses, enums, call sites), [`graph`]
+//! builds the workspace symbol graph, [`rules`] defines the rule set,
+//! [`policy`] scopes each rule to paths, and [`check`] applies the per-file
+//! rules (D1–D7) plus the cross-file passes — [`taint`] (D8 determinism
+//! taint), [`proto`] (D9 message-exhaustiveness, D10 sans-IO boundary) —
+//! with inline `// ddelint::allow(rule, reason)` escapes. [`emit`] renders
+//! JSON and SARIF for CI code scanning.
 //!
 //! Run it as `cargo run -p lint -- check`. The rule set, the allow grammar,
 //! and the procedure for adding a rule are documented in TESTING.md
 //! §"Tier 0 — static analysis".
 
 pub mod check;
+pub mod emit;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod policy;
+pub mod proto;
 pub mod rules;
+pub mod taint;
 
-pub use check::{check_source, Violation};
+pub use check::{check_source, check_workspace, FileCheck, Violation};
+pub use graph::SymbolGraph;
 pub use rules::RuleId;
 
 use std::path::{Path, PathBuf};
@@ -56,13 +66,29 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<String>> {
     Ok(files)
 }
 
-/// Lints the whole tree under `root`, returning all violations in
-/// (path, line, col) order.
+/// Reads every linted file under `root` into `(path, source)` pairs, in
+/// sorted path order.
+pub fn read_tree(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    collect_files(root)?
+        .into_iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel))?;
+            Ok((rel, src))
+        })
+        .collect()
+}
+
+/// Lints the whole tree under `root` — per-file rules plus the cross-file
+/// symbol-graph passes — returning all violations in (path, line, col)
+/// order.
 pub fn check_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut all = Vec::new();
-    for rel in collect_files(root)? {
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        all.extend(check_source(&rel, &src));
-    }
-    Ok(all)
+    Ok(check_workspace(&read_tree(root)?))
+}
+
+/// Builds the workspace symbol graph for `root` and renders it as DOT
+/// (`ddelint graph --dot`).
+pub fn graph_dot(root: &Path) -> std::io::Result<String> {
+    let files: Vec<FileCheck> =
+        read_tree(root)?.iter().map(|(path, src)| FileCheck::new(path, src)).collect();
+    Ok(SymbolGraph::build(&files).to_dot(&files))
 }

@@ -20,6 +20,7 @@ pub const D6_FILES: &[&str] = &[
     "crates/core/src/exact.rs",
     "crates/core/src/aggregate.rs",
     "crates/core/src/skeleton.rs",
+    "crates/core/src/piggyback.rs",
     "crates/core/src/baseline/gossip.rs",
     "crates/core/src/baseline/random_walk.rs",
     "crates/core/src/baseline/uniform_peer.rs",
@@ -29,6 +30,9 @@ pub const D6_FILES: &[&str] = &[
     "crates/stats/src/piecewise.rs",
     "crates/stats/src/kde.rs",
     "crates/stats/src/histogram.rs",
+    "crates/sim/src/workload.rs",
+    "crates/ring/src/arena.rs",
+    "crates/ring/src/batch.rs",
 ];
 
 /// Ring hot-path modules where cloning a successor list or a store's sorted
@@ -42,6 +46,141 @@ pub const D7_FILES: &[&str] = &[
     "crates/ring/src/membership.rs",
     "crates/ring/src/query.rs",
     "crates/ring/src/replication.rs",
+];
+
+/// Modules that must stay sans-IO (rule D10): the estimator/probe/routing
+/// policy layer in `crates/core`. These files may *interrogate* the network
+/// and bill message stats, but direct topology/data mutation belongs to the
+/// drivers (`sim`, the CLI, and eventually the `dde-node` binary of ROADMAP
+/// item 1) — keeping the policy layer a pure `(incoming message, state) →
+/// outgoing messages` state machine that the node split can lift verbatim.
+pub fn d10_file(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+}
+
+/// `Network` methods the sans-IO layer may call (rule D10): reads, probe /
+/// lookup message exchanges (the simulated transport), and stats billing.
+/// Everything else — membership, builds, rewiring, data mutation, fault-plan
+/// edits — is driver territory.
+pub const NETWORK_READ_WHITELIST: &[&str] = &[
+    // Message exchanges: the simulated transport surface.
+    "lookup",
+    "lookup_batched",
+    "probe",
+    "piggyback_probe",
+    "sample_tuple",
+    "message_lost",
+    "reply_lost",
+    // Pure reads.
+    "len",
+    "is_empty",
+    "placement",
+    "ids",
+    "is_alive",
+    "node",
+    "summary_buckets",
+    "replication",
+    "true_owner",
+    "random_peer",
+    "total_items",
+    "global_values",
+    "global_values_arc",
+    "mutation_epoch",
+    // Stats billing.
+    "stats",
+    "stats_mut",
+];
+
+/// How one requirement of an exhaustive protocol enum is expressed in code
+/// (rule D9). All searches are confined to the named fn's (or const's) byte
+/// span in the code mask, so comments and unrelated code cannot satisfy
+/// them; `QuotedIn` searches the raw source because repro parsers match on
+/// string literals, which the mask blanks.
+#[derive(Debug, Clone, Copy)]
+pub enum Requirement {
+    /// `Enum::Variant` must appear in the body of fn `func` in `file`.
+    ArmIn { file: &'static str, func: &'static str, what: &'static str },
+    /// `"Variant"` (quoted) must appear in the body of fn `func` in `file`.
+    QuotedIn { file: &'static str, func: &'static str, what: &'static str },
+    /// `Enum::Variant` must appear in the initializer of `const_name` in `file`.
+    ListedIn { file: &'static str, const_name: &'static str, what: &'static str },
+    /// `Enum::Variant` must appear as the first argument of a call to one of
+    /// `fns` somewhere outside the defining file and outside test regions.
+    Billed { fns: &'static [&'static str], what: &'static str },
+}
+
+impl Requirement {
+    /// Names the missing wiring in a D9 report.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Self::ArmIn { what, .. }
+            | Self::QuotedIn { what, .. }
+            | Self::ListedIn { what, .. }
+            | Self::Billed { what, .. } => what,
+        }
+    }
+}
+
+/// One protocol enum whose variants must be exhaustively wired (rule D9).
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveEnum {
+    /// Defining file (violations are reported at the variant declaration).
+    pub file: &'static str,
+    /// The enum's name.
+    pub enum_name: &'static str,
+    /// Everything each variant must have.
+    pub requirements: &'static [Requirement],
+}
+
+/// The protocol enums rule D9 polices. Adding a variant to one of these
+/// without wiring every listed site fails `cargo test` at the declaration.
+pub const EXHAUSTIVE_ENUMS: &[ExhaustiveEnum] = &[
+    ExhaustiveEnum {
+        file: "crates/ring/src/messages.rs",
+        enum_name: "MessageKind",
+        requirements: &[
+            Requirement::ArmIn {
+                file: "crates/ring/src/messages.rs",
+                func: "index",
+                what: "a dense-index arm in `MessageKind::index`",
+            },
+            Requirement::ListedIn {
+                file: "crates/ring/src/messages.rs",
+                const_name: "ALL",
+                what: "an entry in `MessageKind::ALL` (breakdown/registry order)",
+            },
+            Requirement::Billed {
+                fns: &["record", "observe_timeout"],
+                what: "a `MessageStats` billing call (`record`/`observe_timeout`) at a use site",
+            },
+        ],
+    },
+    ExhaustiveEnum {
+        file: "crates/sim/src/dst.rs",
+        enum_name: "DstEvent",
+        requirements: &[
+            Requirement::ArmIn {
+                file: "crates/sim/src/dst.rs",
+                func: "apply",
+                what: "a handler arm in `World::apply` (applies the event under the oracle)",
+            },
+            Requirement::ArmIn {
+                file: "crates/sim/src/dst.rs",
+                func: "random_event",
+                what: "a generator arm in `random_event` (fuzz coverage)",
+            },
+            Requirement::ArmIn {
+                file: "crates/sim/src/dst.rs",
+                func: "fmt",
+                what: "a `Display` arm (repro rendering)",
+            },
+            Requirement::QuotedIn {
+                file: "crates/sim/src/dst.rs",
+                func: "parse_event",
+                what: "a quoted arm in `parse_event` (repro round-trip)",
+            },
+        ],
+    },
 ];
 
 /// Whether the walker should descend into / lint this path at all.
@@ -96,16 +235,25 @@ pub fn applies(rule: RuleId, path: &str) -> bool {
         RuleId::D5 => in_det_src(path),
         RuleId::D6 => D6_FILES.contains(&path),
         RuleId::D7 => D7_FILES.contains(&path),
+        // D8 reports where determinism is law: deterministic-crate src and
+        // the integration-test tree. Taint still *propagates* through
+        // everything (including shims — that's where `thread_rng` is
+        // defined); benches and the CLI may time and jitter freely.
+        RuleId::D8 => in_det_src(path) || path.starts_with("tests/"),
+        // D9 reports at the protocol enum's defining file.
+        RuleId::D9 => EXHAUSTIVE_ENUMS.iter().any(|e| e.file == path),
+        RuleId::D10 => d10_file(path),
         RuleId::A0 | RuleId::A1 => true,
     }
 }
 
 /// Whether violations of `rule` are exempt inside `#[cfg(test)]` regions.
 ///
-/// D5 (unwrap hygiene), D6 (public-API docs), and D7 (hot-path clones) are
-/// test-exempt — tests may clone freely and stay readable; ambient entropy,
+/// D5 (unwrap hygiene), D6 (public-API docs), D7 (hot-path clones), D8
+/// (taint — in-file unit tests drive helpers off arbitrary state), and D10
+/// (tests exercise mutation deliberately) are test-exempt; ambient entropy,
 /// wall-clock, unordered maps, and unsafe would break deterministic replay
 /// of the test suite itself.
 pub fn test_exempt(rule: RuleId) -> bool {
-    matches!(rule, RuleId::D5 | RuleId::D6 | RuleId::D7)
+    matches!(rule, RuleId::D5 | RuleId::D6 | RuleId::D7 | RuleId::D8 | RuleId::D10)
 }

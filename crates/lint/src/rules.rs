@@ -31,6 +31,20 @@ pub enum RuleId {
     /// hot-path modules — the per-hop allocations the perf overhaul removed
     /// (snapshot to the stack, or share via `Arc`, instead).
     D7,
+    /// Determinism taint: no fn in a deterministic path may *transitively*
+    /// reach a D1/D2 entropy or wall-clock source through the call graph,
+    /// unless it threads an explicit seed/RNG parameter or the flow carries
+    /// a reasoned allow. Catches helpers that launder `thread_rng()` two
+    /// calls deep.
+    D8,
+    /// Message exhaustiveness: every variant of a policed protocol enum
+    /// (`MessageKind`, `DstEvent`) must be wired everywhere the policy says
+    /// — handler arm, registry listing, stats billing, repro parser.
+    D9,
+    /// Sans-IO boundary: estimator/probe/routing-policy modules may not
+    /// directly mutate the `Network` outside the read/probe/billing
+    /// whitelist — drivers own mutation.
+    D10,
     /// Malformed `ddelint::allow` (unknown rule id or missing/empty reason).
     A0,
     /// An allow that suppressed nothing — stale escapes must be removed.
@@ -71,6 +85,9 @@ impl RuleId {
             Self::D5 => "unwrap",
             Self::D6 => "doc-determinism",
             Self::D7 => "hot-clone",
+            Self::D8 => "det-taint",
+            Self::D9 => "message-exhaustive",
+            Self::D10 => "sans-io",
             Self::A0 => "bad-allow",
             Self::A1 => "unused-allow",
         }
@@ -86,6 +103,9 @@ impl RuleId {
             Self::D5 => "D5",
             Self::D6 => "D6",
             Self::D7 => "D7",
+            Self::D8 => "D8",
+            Self::D9 => "D9",
+            Self::D10 => "D10",
             Self::A0 => "A0",
             Self::A1 => "A1",
         }
@@ -101,6 +121,9 @@ impl RuleId {
             Self::D5 => "bare unwrap()/expect(\"\") in library-crate non-test code",
             Self::D6 => "pub fn in an estimator module lacking a determinism-contract doc comment",
             Self::D7 => "successor-list/sorted-store clone on a ring hot path (snapshot or Arc-share instead)",
+            Self::D8 => "fn transitively reaches ambient entropy/wall-clock without threading a seed parameter",
+            Self::D9 => "protocol enum variant missing a handler arm, registry entry, billing call, or parser arm",
+            Self::D10 => "direct Network mutation in a sans-IO module (outside the read/probe/billing whitelist)",
             Self::A0 => "malformed ddelint::allow (unknown rule or missing/empty reason)",
             Self::A1 => "ddelint::allow that suppressed no violation",
         }
@@ -116,6 +139,9 @@ impl RuleId {
             Self::D5,
             Self::D6,
             Self::D7,
+            Self::D8,
+            Self::D9,
+            Self::D10,
             Self::A0,
             Self::A1,
         ];

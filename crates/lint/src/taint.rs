@@ -1,0 +1,229 @@
+//! D8 — determinism taint. Follows entropy and wall-clock reads through the
+//! [`crate::graph`] call graph so a helper cannot launder `thread_rng()` two
+//! calls deep.
+//!
+//! **Sources.** A fn *seeds* taint when it (a) is named `thread_rng` /
+//! `from_entropy` (the ambient-entropy definitions the shims mirror), or
+//! (b) its body contains a D1/D2 needle. A needle source is defused only by
+//! the same site-level `ddelint::allow(D1|D2, reason)` that suppresses the
+//! needle violation itself, and only where that rule applies — the allow is
+//! a reviewed semantic assertion ("this value never feeds results"), so it
+//! stops the flow; a *policy* exemption (shims, `stats::rng`) is positional
+//! and does not.
+//!
+//! **Propagation.** Taint flows caller-ward along resolved edges,
+//! unconditionally, recording one witness path per tainted fn.
+//!
+//! **Reporting.** A tainted fn in D8 scope (deterministic-crate `src/` and
+//! the integration-test tree, outside `#[cfg(test)]` regions) is a
+//! violation, reported at the call site that imports the taint. Two outs:
+//! a fn whose *signature* threads an explicit seed/RNG parameter
+//! (`SeedSequence`, `Component`, `rng`, `seed`, ...) is absolved of
+//! *transitive* taint — but never of a direct call to a source — and an
+//! inline `ddelint::allow(det-taint, reason)` at the call site escapes with
+//! review. A fn that is itself a needle source is not re-reported (D1/D2
+//! already fires there when the rule applies).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::check::{snippet_at, FileCheck, Violation};
+use crate::graph::{NodeId, SymbolGraph};
+use crate::policy;
+use crate::rules::{Boundary, RuleId, NEEDLES};
+
+/// What kind of nondeterminism a source leaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// Ambient entropy (D1 needles, or the `thread_rng`/`from_entropy` defs).
+    Entropy,
+    /// Wall-clock reads (D2 needles).
+    Wallclock,
+}
+
+impl SourceKind {
+    fn noun(self) -> &'static str {
+        match self {
+            Self::Entropy => "ambient entropy",
+            Self::Wallclock => "wall-clock time",
+        }
+    }
+}
+
+/// Fn names that *define* an entropy source (the shim API surface).
+const SOURCE_FNS: &[&str] = &["thread_rng", "from_entropy"];
+
+/// Identifier-bounded markers in a fn signature that mark it as explicitly
+/// threading its randomness: taint arriving *transitively* stops here.
+const SEED_MARKERS: &[&str] =
+    &["SeedSequence", "Component", "Rng", "StdRng", "RngCore", "rng", "seed", "seeds", "entropy"];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Ident-bounded substring search.
+fn contains_ident(hay: &str, needle: &str) -> bool {
+    find_ident(hay, needle).is_some()
+}
+
+fn find_ident(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        from = at + 1;
+        let head = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let tail = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if head && tail {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// How a node became tainted.
+#[derive(Debug, Clone, Copy)]
+struct Taint {
+    kind: SourceKind,
+    /// The callee that carried the taint in (self for sources).
+    via: NodeId,
+    /// Call-site byte in this node's file (source byte for sources).
+    at: usize,
+    /// Whether this node is itself a source (vs transitively tainted).
+    is_source: bool,
+}
+
+/// Runs the D8 pass, appending violations to the owning files.
+pub fn check_d8(files: &mut [FileCheck], graph: &SymbolGraph) {
+    // 1. Find sources.
+    let mut taints: BTreeMap<NodeId, Taint> = BTreeMap::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let id = NodeId(i);
+        let file = &files[node.file];
+        let f = &file.parsed.fns[node.item];
+        if SOURCE_FNS.contains(&f.name.as_str()) {
+            taints.insert(
+                id,
+                Taint { kind: SourceKind::Entropy, via: id, at: f.at, is_source: true },
+            );
+            continue;
+        }
+        let body = &file.lexed.mask[f.body.0..f.body.1];
+        for needle in NEEDLES {
+            let kind = match needle.rule {
+                RuleId::D1 => SourceKind::Entropy,
+                RuleId::D2 => SourceKind::Wallclock,
+                _ => continue,
+            };
+            let ok = match needle.boundary {
+                Boundary::Ident => find_ident(body, needle.text),
+                Boundary::Exact => body.find(needle.text),
+            };
+            let Some(rel) = ok else { continue };
+            let at = f.body.0 + rel;
+            // A site-level allow (where the rule applies) defuses the source.
+            if policy::applies(needle.rule, &file.path) {
+                let line = file.lexed.line_of(at);
+                if file.allowed_lines(needle.rule).contains(&line) {
+                    continue;
+                }
+            }
+            taints.insert(id, Taint { kind, via: id, at, is_source: true });
+            break;
+        }
+    }
+
+    // 2. Propagate caller-ward (breadth-first, deterministic order).
+    let mut frontier: BTreeSet<NodeId> = taints.keys().copied().collect();
+    while let Some(&id) = frontier.iter().next() {
+        frontier.remove(&id);
+        let t = taints[&id];
+        let kind = t.kind;
+        let callee = graph.fn_of(files, id);
+        // Absolved fns do not forward transitive taint: their randomness is
+        // caller-provided by contract. A reviewed `allow(det-taint, ...)` at
+        // the importing call site stops the flow the same way (the allow is
+        // the "path carries a reasoned allow" escape — callers stay clean).
+        // Sources always forward.
+        if !t.is_source {
+            if sig_absolves(&callee.sig) {
+                continue;
+            }
+            let file = &files[graph.file_of(id)];
+            let line = file.lexed.line_of(t.at);
+            if file.allowed_lines(RuleId::D8).contains(&line) {
+                continue;
+            }
+        }
+        let edges: Vec<_> = graph.callers_of(id).copied().collect();
+        for e in edges {
+            if taints.contains_key(&e.from) {
+                continue;
+            }
+            taints.insert(e.from, Taint { kind, via: id, at: e.at, is_source: false });
+            frontier.insert(e.from);
+        }
+    }
+
+    // 3. Report tainted fns in scope.
+    for (&id, taint) in &taints {
+        if taint.is_source {
+            continue; // D1/D2 already report the site where they apply.
+        }
+        let node = graph.nodes[id.0];
+        let path = files[node.file].path.clone();
+        if !policy::applies(RuleId::D8, &path) {
+            continue;
+        }
+        let f = &files[node.file].parsed.fns[node.item];
+        if files[node.file].in_test_region(f.at) {
+            continue;
+        }
+        // Seed-threading absolution — transitive taint only: a direct call
+        // to a source fn is never absolved by the caller's own signature.
+        let via_is_source = taints.get(&taint.via).is_some_and(|t| t.is_source);
+        if sig_absolves(&f.sig) && !via_is_source {
+            continue;
+        }
+        let witness = witness_chain(files, graph, &taints, id);
+        let (line, col) = files[node.file].lexed.pos(taint.at);
+        let message = format!("fn `{}` reaches {} via {}", f.name, taint.kind.noun(), witness);
+        let snippet = snippet_at(&files[node.file].src, &files[node.file].lexed, taint.at);
+        files[node.file].push(Violation { path, line, col, rule: RuleId::D8, message, snippet });
+    }
+}
+
+/// Whether a fn signature (text after the name) names a seed-threading
+/// parameter or type.
+fn sig_absolves(sig: &str) -> bool {
+    SEED_MARKERS.iter().any(|m| contains_ident(sig, m))
+}
+
+/// Renders the call chain from `id` down to its source, e.g.
+/// "`jitter` (crates/stats/src/rng.rs:12) → `thread_rng` (shims/rand/src/lib.rs:403)".
+fn witness_chain(
+    files: &[FileCheck],
+    graph: &SymbolGraph,
+    taints: &BTreeMap<NodeId, Taint>,
+    mut id: NodeId,
+) -> String {
+    let mut hops = Vec::new();
+    // Bounded walk down the via-chain; it terminates at a source (which the
+    // previous hop already named), so the source is pushed exactly once.
+    for _ in 0..64 {
+        let Some(t) = taints.get(&id) else { break };
+        if t.is_source {
+            break;
+        }
+        let node = graph.nodes[t.via.0];
+        let f = &files[node.file].parsed.fns[node.item];
+        let line = files[node.file].lexed.line_of(f.at);
+        hops.push(format!("`{}` ({}:{})", f.name, files[node.file].path, line));
+        if t.via == id {
+            break;
+        }
+        id = t.via;
+    }
+    hops.join(" → ")
+}

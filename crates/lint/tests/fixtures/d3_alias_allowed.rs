@@ -1,0 +1,11 @@
+// Fixture: the same shape aliased to an *ordered* map is clean — alias
+// resolution looks at the target, not the local name.
+use std::collections::BTreeMap as Map;
+
+fn tally(keys: &[u64]) -> Map<u64, u64> {
+    let mut m = Map::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,11 @@
+// Fixture: D3 alias blindness — the alias resolves to an unordered map, so
+// every usage of `Map` is flagged, not just the declaration the needle sees.
+use std::collections::HashMap as Map;
+
+fn tally(keys: &[u64]) -> Map<u64, u64> {
+    let mut m = Map::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

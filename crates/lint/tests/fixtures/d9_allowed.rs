@@ -1,0 +1,16 @@
+// Fixture: D9 with a reasoned allow on the unwired variant's line.
+pub enum MessageKind {
+    Probe,
+    Unbilled, // ddelint::allow(message-exhaustive, "fixture: reserved kind, billed when the transport lands")
+}
+
+impl MessageKind {
+    const ALL: [MessageKind; 2] = [MessageKind::Probe, MessageKind::Unbilled];
+
+    const fn index(self) -> usize {
+        match self {
+            MessageKind::Probe => 0,
+            MessageKind::Unbilled => 1,
+        }
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: the use site billing `Probe` (but not `Unbilled`) — paired with
+// d9_violation.rs in the workspace-rule tests.
+fn bill(stats: &mut MessageStats) {
+    stats.record(MessageKind::Probe, 0);
+}

@@ -1,0 +1,17 @@
+// Fixture: D9 — `Unbilled` has a dense-index arm and an `ALL` entry, but no
+// `MessageStats` billing call anywhere outside this file.
+pub enum MessageKind {
+    Probe,
+    Unbilled,
+}
+
+impl MessageKind {
+    const ALL: [MessageKind; 2] = [MessageKind::Probe, MessageKind::Unbilled];
+
+    const fn index(self) -> usize {
+        match self {
+            MessageKind::Probe => 0,
+            MessageKind::Unbilled => 1,
+        }
+    }
+}

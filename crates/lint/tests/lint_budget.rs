@@ -1,0 +1,33 @@
+//! Nightly wall-clock budget: the full-workspace `ddelint check` (lexing,
+//! item parsing, symbol-graph build, taint propagation, and the protocol
+//! wall, over every crate) must finish in under 2 seconds even in a debug
+//! build — the lint runs in tier-0 CI on every push, so its latency is part
+//! of the edit-compile loop. BENCH_lint.json records the measured headroom.
+//!
+//! `#[ignore]`d in the default run (timing asserts are machine-sensitive);
+//! the nightly workflow runs it with `--ignored` on the pinned 1-core box.
+
+use std::path::Path;
+
+#[test]
+#[ignore = "wall-clock budget: nightly runs this with --ignored on pinned hardware"]
+fn full_workspace_check_stays_under_two_seconds() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    // Read once outside the timed region; the budget covers analysis, and
+    // I/O variance on shared runners would only add noise.
+    let tree = lint::read_tree(root).expect("workspace tree is readable");
+    assert!(tree.len() >= 40, "tree unexpectedly small ({} files)", tree.len());
+
+    // ddelint::allow(wallclock, "timing-only: bounds the nightly lint-budget assert, never an experiment value")
+    let started = std::time::Instant::now();
+    let violations = lint::check_workspace(&tree);
+    let elapsed = started.elapsed();
+
+    assert!(violations.is_empty(), "main must stay violation-free: {violations:?}");
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "full-workspace lint took {:.3}s (budget 2s, {} files)",
+        elapsed.as_secs_f64(),
+        tree.len()
+    );
+}

@@ -2,9 +2,16 @@
 //! `crates/stats/src/ecdf.rs` lints clean today (green); the same file with a
 //! deliberately planted `thread_rng()` is caught by D1 at the planted line
 //! (red). This pins the linter to the actual tree, not just to fixtures.
+//!
+//! The cross-file rules get the same treatment against the *whole* workspace
+//! (`read_tree` + one in-memory plant): D8 catches entropy laundered through
+//! the exempt RNG module, D9 catches an unwired `MessageKind` variant, and
+//! D10 catches a direct `Network` mutation inside an estimator module.
 
-use lint::check_source;
+use std::path::Path;
+
 use lint::rules::RuleId;
+use lint::{check_source, check_workspace, read_tree, Violation};
 
 const ECDF_PATH: &str = "crates/stats/src/ecdf.rs";
 
@@ -41,5 +48,120 @@ fn red_goes_green_again_with_a_site_allow() {
         "\nfn sneak_entropy() -> f64 {\n    // ddelint::allow(ambient-rng, \"demo: red/green test round-trip\")\n    let mut rng = rand::thread_rng();\n    rng.gen::<f64>()\n}\n",
     );
     let v = check_source(ECDF_PATH, &src);
+    assert!(v.is_empty(), "allow must restore green: {v:?}");
+}
+
+// ---- whole-workspace drills for the cross-file rules -----------------------
+
+/// The real workspace sources, read from disk relative to this crate.
+fn real_tree() -> Vec<(String, String)> {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    read_tree(root).expect("workspace tree is readable")
+}
+
+/// Appends `plant` to the in-memory copy of `path` within the tree.
+fn plant(tree: &mut [(String, String)], path: &str, plant: &str) {
+    let entry = tree
+        .iter_mut()
+        .find(|(p, _)| p == path)
+        .unwrap_or_else(|| panic!("{path} is part of the linted tree"));
+    entry.1.push_str(plant);
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<RuleId> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn green_the_real_workspace_lints_clean() {
+    let v = check_workspace(&real_tree());
+    assert!(v.is_empty(), "main must stay violation-free: {v:?}");
+}
+
+#[test]
+fn red_d8_catches_entropy_laundered_through_the_exempt_rng_module() {
+    let mut tree = real_tree();
+    // The helper hides in `stats::rng`, where the D1 needle rule does not
+    // apply — only the taint pass can see the flow from its importers.
+    plant(
+        &mut tree,
+        "crates/stats/src/rng.rs",
+        "\npub fn drill_jitter() -> u64 {\n    rand::thread_rng().next_u64()\n}\n",
+    );
+    plant(
+        &mut tree,
+        "crates/stats/src/ecdf.rs",
+        "\nfn drill_launder() -> u64 {\n    crate::rng::drill_jitter()\n}\n\n\
+         /// Nondeterministic on purpose: the D8 drill target.\n\
+         pub fn drill_perturb(x: u64) -> u64 {\n    x ^ drill_launder()\n}\n",
+    );
+    let v = check_workspace(&tree);
+    assert_eq!(rules_of(&v), vec![RuleId::D8, RuleId::D8], "{v:?}");
+    // Reported at the importing call sites, with file:line:col pointing at
+    // real text and a witness chain naming the source.
+    for violation in &v {
+        assert_eq!(violation.path, "crates/stats/src/ecdf.rs");
+        assert!(violation.message.contains("drill_jitter"), "{}", violation.message);
+        let src = &tree.iter().find(|(p, _)| p == &violation.path).unwrap().1;
+        let line_text = src.lines().nth(violation.line - 1).expect("reported line exists");
+        assert!(
+            line_text.contains("drill_jitter()") || line_text.contains("drill_launder()"),
+            "line {}: {line_text}",
+            violation.line
+        );
+    }
+}
+
+#[test]
+fn red_d9_catches_an_unwired_message_kind_variant() {
+    let mut tree = real_tree();
+    let messages = &mut tree
+        .iter_mut()
+        .find(|(p, _)| p == "crates/ring/src/messages.rs")
+        .expect("messages.rs is part of the linted tree")
+        .1;
+    let anchor = "pub enum MessageKind {";
+    let planted = messages.replace(anchor, "pub enum MessageKind {\n    DrillUnwired,");
+    assert_ne!(&planted, messages, "anchor must exist");
+    *messages = planted;
+    let v = check_workspace(&tree);
+    assert_eq!(rules_of(&v), vec![RuleId::D9], "{v:?}");
+    assert_eq!(v[0].path, "crates/ring/src/messages.rs");
+    assert!(v[0].message.contains("MessageKind::DrillUnwired"), "{}", v[0].message);
+    // All three wiring dimensions are missing and each is named.
+    for expect in ["MessageKind::index", "MessageKind::ALL", "billing"] {
+        assert!(v[0].message.contains(expect), "missing `{expect}` in: {}", v[0].message);
+    }
+    assert!(v[0].snippet.contains("DrillUnwired"));
+}
+
+#[test]
+fn red_d10_catches_a_direct_network_mutation_in_an_estimator() {
+    let mut tree = real_tree();
+    plant(
+        &mut tree,
+        "crates/core/src/dfdde.rs",
+        "\n/// Deterministic: drill-only; never merged.\n\
+         pub fn drill_repair(net: &mut Network) {\n    net.set_replication(3);\n}\n",
+    );
+    let v = check_workspace(&tree);
+    assert_eq!(rules_of(&v), vec![RuleId::D10], "{v:?}");
+    assert_eq!(v[0].path, "crates/core/src/dfdde.rs");
+    assert!(v[0].message.contains("set_replication"), "{}", v[0].message);
+    assert!(v[0].snippet.contains("net.set_replication(3)"));
+}
+
+#[test]
+fn red_d10_goes_green_with_a_reasoned_allow() {
+    let mut tree = real_tree();
+    plant(
+        &mut tree,
+        "crates/core/src/dfdde.rs",
+        "\n/// Deterministic: drill-only; never merged.\n\
+         pub fn drill_repair(net: &mut Network) {\n    \
+         // ddelint::allow(sans-io, \"demo: red/green round-trip for the boundary rule\")\n    \
+         net.set_replication(3);\n}\n",
+    );
+    let v = check_workspace(&tree);
     assert!(v.is_empty(), "allow must restore green: {v:?}");
 }

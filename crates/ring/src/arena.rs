@@ -41,6 +41,7 @@ pub struct SuccessorList {
 
 impl SuccessorList {
     /// An empty list.
+    /// Deterministic: constructs fixed, zeroed contents.
     pub fn new() -> Self {
         Self { ids: [RingId(0); SUCCESSOR_LIST_LEN], len: 0 }
     }
@@ -50,6 +51,7 @@ impl SuccessorList {
     /// # Panics
     /// Panics if the list is full — construction paths never exceed the
     /// capacity; bounded insertion goes through [`Node::offer_successor`].
+    /// Deterministic: appends in call order; no hidden ordering.
     pub fn push(&mut self, peer: RingId) {
         let len = self.len as usize;
         assert!(len < SUCCESSOR_LIST_LEN, "successor list over capacity");
@@ -58,6 +60,7 @@ impl SuccessorList {
     }
 
     /// Keeps only the ids satisfying `pred`, preserving order.
+    /// Deterministic: order-preserving filter over inline slots.
     pub fn retain(&mut self, mut pred: impl FnMut(&RingId) -> bool) {
         let len = self.len as usize;
         let mut kept = 0;
@@ -74,6 +77,7 @@ impl SuccessorList {
     }
 
     /// Shortens the list to at most `n` ids.
+    /// Deterministic: order-preserving shrink; vacated slots normalized.
     pub fn truncate(&mut self, n: usize) {
         let len = self.len as usize;
         if n < len {
@@ -88,6 +92,7 @@ impl SuccessorList {
     ///
     /// # Panics
     /// Panics if `idx >= len`.
+    /// Deterministic: index-addressed removal with a left shift.
     pub fn remove(&mut self, idx: usize) -> RingId {
         let len = self.len as usize;
         assert!(idx < len, "remove index {idx} out of bounds (len {len})");
@@ -213,12 +218,14 @@ pub struct FingerTable {
 
 impl FingerTable {
     /// An empty table (every finger absent).
+    /// Deterministic: constructs fixed, zeroed contents.
     pub fn new() -> Self {
         Self { targets: [RingId(0); RING_BITS as usize], mask: 0 }
     }
 
     /// The finger at level `i`, if set.
     #[inline]
+    /// Deterministic: reads the indexed slot.
     pub fn get(&self, i: usize) -> Option<RingId> {
         if self.mask & (1u64 << i) != 0 {
             Some(self.targets[i])
@@ -229,6 +236,7 @@ impl FingerTable {
 
     /// Sets or clears the finger at level `i`.
     #[inline]
+    /// Deterministic: writes the indexed slot.
     pub fn set(&mut self, i: usize, target: Option<RingId>) {
         match target {
             Some(t) => {
@@ -244,6 +252,7 @@ impl FingerTable {
 
     /// The set fingers in level order (the replacement for the old
     /// `fingers.iter().flatten()`); allocation-free.
+    /// Deterministic: yields targets in fixed finger-index order.
     pub fn present(&self) -> impl Iterator<Item = RingId> + '_ {
         let mask = self.mask;
         (0..RING_BITS as usize)
@@ -252,6 +261,7 @@ impl FingerTable {
     }
 
     /// Clears every finger pointing at `dead`.
+    /// Deterministic: clears matching slots in index order.
     pub fn forget(&mut self, dead: RingId) {
         for i in 0..RING_BITS as usize {
             if self.mask & (1u64 << i) != 0 && self.targets[i] == dead {
@@ -298,63 +308,75 @@ pub struct RingArena {
 
 impl RingArena {
     /// An empty arena.
+    /// Deterministic: constructs fixed, zeroed contents.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// An empty arena with room for `n` records.
+    /// Deterministic: constructs fixed contents for the given capacity.
     pub fn with_capacity(n: usize) -> Self {
         Self { slots: Vec::with_capacity(n) }
     }
 
     /// Number of records.
+    /// Deterministic: reads the slab length.
     pub fn len(&self) -> usize {
         self.slots.len()
     }
 
     /// Whether the arena holds no records.
+    /// Deterministic: reads the slab length.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
 
     /// The record at position `i`.
     #[inline]
+    /// Deterministic: reads the indexed slot.
     pub fn slot(&self, i: usize) -> &Node {
         &self.slots[i]
     }
 
     /// Mutable access to the record at position `i`.
     #[inline]
+    /// Deterministic: borrows the indexed slot.
     pub fn slot_mut(&mut self, i: usize) -> &mut Node {
         &mut self.slots[i]
     }
 
     /// Appends a record (bulk construction: ids arrive pre-sorted).
+    /// Deterministic: appends in call order; no hidden ordering.
     pub fn push(&mut self, node: Node) {
         self.slots.push(node);
     }
 
     /// Inserts a record at position `i` (incremental join: `O(P)` memmove).
+    /// Deterministic: index-addressed insert with a right shift.
     pub fn insert(&mut self, i: usize, node: Node) {
         self.slots.insert(i, node);
     }
 
     /// Removes and returns the record at position `i`.
+    /// Deterministic: index-addressed removal with a left shift.
     pub fn remove(&mut self, i: usize) -> Node {
         self.slots.remove(i)
     }
 
     /// Replaces the record at position `i`, returning the old one.
+    /// Deterministic: swaps the indexed slot.
     pub fn replace(&mut self, i: usize, node: Node) -> Node {
         std::mem::replace(&mut self.slots[i], node)
     }
 
     /// Records in ring order.
+    /// Deterministic: iterates slots in index order.
     pub fn iter(&self) -> std::slice::Iter<'_, Node> {
         self.slots.iter()
     }
 
     /// Mutable records in ring order.
+    /// Deterministic: iterates slots in index order.
     pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Node> {
         self.slots.iter_mut()
     }
@@ -372,6 +394,7 @@ impl RingArena {
     /// # Panics
     /// Panics if `keys` and the arena disagree in length (the columns are
     /// out of lockstep).
+    /// Deterministic: a pure function of the sorted `keys` slice.
     pub fn wire_perfect(&mut self, keys: &[RingId]) {
         let p = keys.len();
         assert_eq!(p, self.slots.len(), "id column and arena out of lockstep");
@@ -416,6 +439,7 @@ impl RingArena {
     /// record id matching its column entry) and every inline list must be
     /// shape-valid (length in bounds, vacated slots normalized). Returns a
     /// list of violations (empty = consistent).
+    /// Deterministic: scans slots in index order; messages are stable.
     pub fn check_columns(&self, keys: &[RingId]) -> Vec<String> {
         let mut violations = Vec::new();
         if keys.len() != self.slots.len() {

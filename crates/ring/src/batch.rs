@@ -1,0 +1,57 @@
+//! Same-origin batched-routing charge dedup.
+//!
+//! Extracted from `network.rs` so the batching policy has its own seam: the
+//! router is pure bookkeeping over `(from, to)` hop edges — no `Network`
+//! access, no I/O — which is exactly the shape the ROADMAP-1 sans-IO node
+//! split wants to lift unchanged.
+
+use crate::id::RingId;
+
+/// Reusable charge-dedup state for one same-origin arrival window of
+/// batched lookups (see [`crate::Network::lookup_batched`]).
+///
+/// Lookups issued from one peer inside one window share route prefixes: the
+/// first lookup to traverse a hop `a → b` pays its two messages, and every
+/// later lookup in the window rides the same (still-open) exchange for free.
+/// Routing *decisions* are untouched — owners and hop counts are identical
+/// to per-op routing (property-tested in `crates/sim/tests/batch_equivalence.rs`);
+/// only the message/byte charges are amortized.
+///
+/// The edge set is a linear-scanned vector whose capacity is reused across
+/// windows, so a warmed batch path allocates nothing (fenced by
+/// `crates/ring/tests/alloc_free.rs`).
+#[derive(Debug, Default, Clone)]
+pub struct BatchRouter {
+    edges: Vec<(RingId, RingId)>,
+}
+
+impl BatchRouter {
+    /// An empty router with no cached edges. Deterministic: fixed contents.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new arrival window: previously paid edges no longer amortize
+    /// (capacity is kept, so warmed windows never allocate).
+    ///
+    /// Deterministic: clears state; no ordering or randomness involved.
+    pub fn begin_window(&mut self) {
+        self.edges.clear();
+    }
+
+    /// Number of distinct hop edges paid for in the current window.
+    /// Deterministic: reads the edge buffer's length.
+    pub fn edges_paid(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `from → to` was already paid this window; records it if not.
+    /// Deterministic: linear scan of edges in insertion order.
+    pub(crate) fn seen_or_insert(&mut self, from: RingId, to: RingId) -> bool {
+        if self.edges.contains(&(from, to)) {
+            return true;
+        }
+        self.edges.push((from, to));
+        false
+    }
+}

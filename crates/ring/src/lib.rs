@@ -42,6 +42,7 @@
 #![warn(clippy::all)]
 
 pub mod arena;
+pub mod batch;
 pub mod churn;
 pub mod faults;
 pub mod id;
@@ -56,12 +57,13 @@ pub mod replication;
 pub mod store;
 
 pub use arena::{FingerTable, RingArena, SuccessorList};
+pub use batch::BatchRouter;
 pub use churn::{ChurnConfig, ChurnProcess};
 pub use faults::{DelayDist, FaultDecision, FaultPlan};
 pub use id::RingId;
 pub use index::NodeIndex;
 pub use messages::{MessageKind, MessageStats};
-pub use network::{BatchRouter, LookupError, LookupResult, Network, ProbeReply};
+pub use network::{LookupError, LookupResult, Network, ProbeReply};
 pub use node::{Node, RouteBuf};
 pub use placement::{DomainMap, Placement};
 pub use query::RangeQueryResult;

@@ -6,6 +6,7 @@
 //! routing state**, which churn can make stale — that is the point of the
 //! simulation.
 
+use crate::batch::BatchRouter;
 use crate::faults::{FaultDecision, FaultPlan};
 use crate::id::RingId;
 use crate::index::NodeIndex;
@@ -77,51 +78,6 @@ pub struct ProbeReply {
     pub summary: EquiDepthSummary,
     /// Routing hops spent reaching the peer.
     pub hops: u32,
-}
-
-/// Reusable charge-dedup state for one same-origin arrival window of
-/// batched lookups (see [`Network::lookup_batched`]).
-///
-/// Lookups issued from one peer inside one window share route prefixes: the
-/// first lookup to traverse a hop `a → b` pays its two messages, and every
-/// later lookup in the window rides the same (still-open) exchange for free.
-/// Routing *decisions* are untouched — owners and hop counts are identical
-/// to per-op routing (property-tested in `crates/sim/tests/batch_equivalence.rs`);
-/// only the message/byte charges are amortized.
-///
-/// The edge set is a linear-scanned vector whose capacity is reused across
-/// windows, so a warmed batch path allocates nothing (fenced by
-/// `crates/ring/tests/alloc_free.rs`).
-#[derive(Debug, Default, Clone)]
-pub struct BatchRouter {
-    edges: Vec<(RingId, RingId)>,
-}
-
-impl BatchRouter {
-    /// An empty router with no cached edges.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Opens a new arrival window: previously paid edges no longer amortize
-    /// (capacity is kept, so warmed windows never allocate).
-    pub fn begin_window(&mut self) {
-        self.edges.clear();
-    }
-
-    /// Number of distinct hop edges paid for in the current window.
-    pub fn edges_paid(&self) -> usize {
-        self.edges.len()
-    }
-
-    /// Whether `from → to` was already paid this window; records it if not.
-    fn seen_or_insert(&mut self, from: RingId, to: RingId) -> bool {
-        if self.edges.contains(&(from, to)) {
-            return true;
-        }
-        self.edges.push((from, to));
-        false
-    }
 }
 
 /// The simulated ring overlay.

@@ -60,6 +60,8 @@ pub struct OpMix {
 impl OpMix {
     /// A mix with the given insert/lookup shares (per-mille).
     ///
+    /// Deterministic: a pure constructor of the given shares.
+    ///
     /// # Panics
     /// Panics if the shares exceed 1000‰ combined.
     pub fn new(insert_pm: u16, lookup_pm: u16) -> Self {
@@ -67,7 +69,8 @@ impl OpMix {
         Self { insert_pm, lookup_pm }
     }
 
-    /// The estimate-read share (the remainder to 1000‰).
+    /// The estimate-read share (the remainder to 1000‰). Deterministic:
+    /// pure arithmetic on the mix.
     pub fn estimate_pm(&self) -> u16 {
         1000 - self.insert_pm - self.lookup_pm
     }
