@@ -1,8 +1,9 @@
-//! Microbenchmarks of the substrate hot paths: routing, probing, store and
-//! summary operations, sketches, skeleton assembly, KDE, and metrics.
+//! Microbenchmarks of the substrate hot paths: routing, probing, membership
+//! churn, store and summary operations, sketches, skeleton assembly, KDE,
+//! and metrics.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dde_ring::{LocalStore, Network, Placement, RingId};
+use dde_ring::{ChurnBatch, LocalStore, Network, Placement, RingId};
 use dde_stats::dist::{BoundedPareto, Distribution, Normal, Truncated};
 use dde_stats::equidepth::EquiDepthSummary;
 use dde_stats::gk::GkSketch;
@@ -140,6 +141,72 @@ fn metrics_ks(c: &mut Criterion) {
     assert!(pw.cdf(0.0) > 0.4);
 }
 
+fn churn(c: &mut Criterion) {
+    // The three membership-mutation policies F12b weighs against each other,
+    // on a data-free 4096-peer ring (isolating repair machinery from data
+    // handoff): one coalesced `ChurnBatch` window, the same event mix
+    // through the one-at-a-time arena drivers, and the teardown-and-rebuild
+    // a snapshot-immutable design would pay instead. Windows are join/death
+    // balanced (32/16/16) so the ring size stays put across iterations.
+    let mut g = c.benchmark_group("micro/churn");
+    let p = 4096;
+    {
+        let mut rng = SeedSequence::new(21).stream(Component::NodeIds, 0);
+        let ids: Vec<RingId> = (0..p).map(|_| RingId(rng.gen())).collect();
+        let mut net = Network::build_bulk(ids, Placement::range(0.0, 1000.0));
+        let mut rng = SeedSequence::new(22).stream(Component::Churn, 0);
+        let mut batch = ChurnBatch::new();
+        g.bench_function("batched_64_event_window", |b| {
+            b.iter(|| {
+                for _ in 0..32 {
+                    batch.join(RingId(rng.gen()));
+                }
+                for _ in 0..16 {
+                    batch.leave(net.random_peer(&mut rng).expect("nonempty"));
+                }
+                for _ in 0..16 {
+                    batch.crash(net.random_peer(&mut rng).expect("nonempty"));
+                }
+                batch.apply(&mut net).joins
+            });
+        });
+    }
+    {
+        let mut rng = SeedSequence::new(23).stream(Component::NodeIds, 0);
+        let ids: Vec<RingId> = (0..p).map(|_| RingId(rng.gen())).collect();
+        let mut net = Network::build_bulk(ids, Placement::range(0.0, 1000.0));
+        let mut rng = SeedSequence::new(24).stream(Component::Churn, 0);
+        g.bench_function("incremental_64_events", |b| {
+            b.iter(|| {
+                for _ in 0..32 {
+                    net.churn_join(RingId(rng.gen()));
+                }
+                for _ in 0..16 {
+                    let v = net.random_peer(&mut rng).expect("nonempty");
+                    net.churn_leave(v);
+                }
+                for _ in 0..16 {
+                    let v = net.random_peer(&mut rng).expect("nonempty");
+                    net.churn_crash(v);
+                }
+                net.len()
+            });
+        });
+    }
+    {
+        let mut rng = SeedSequence::new(25).stream(Component::NodeIds, 0);
+        let ids: Vec<RingId> = (0..p).map(|_| RingId(rng.gen())).collect();
+        let net = Network::build_bulk(ids, Placement::range(0.0, 1000.0));
+        g.bench_function("teardown_rebuild", |b| {
+            b.iter(|| {
+                let ids: Vec<RingId> = net.ids().collect();
+                Network::build_bulk(ids, Placement::range(0.0, 1000.0)).len()
+            });
+        });
+    }
+    g.finish();
+}
+
 fn range_query(c: &mut Criterion) {
     let mut net = ring_net(512, 9);
     let dist = Truncated::new(Normal::new(500.0, 150.0), 0.0, 1000.0);
@@ -158,6 +225,7 @@ criterion_group!(
     lookup,
     probe,
     global_values,
+    churn,
     range_query,
     store_ops,
     equidepth_query,

@@ -46,6 +46,8 @@ pub const D7_FILES: &[&str] = &[
     "crates/ring/src/membership.rs",
     "crates/ring/src/query.rs",
     "crates/ring/src/replication.rs",
+    "crates/ring/src/arena.rs",
+    "crates/ring/src/churn.rs",
 ];
 
 /// Modules that must stay sans-IO (rule D10): the estimator/probe/routing

@@ -130,8 +130,8 @@ fn d7_reasoned_allow_escapes() {
 
 #[test]
 fn d7_only_applies_to_ring_hot_path_modules() {
-    let v = check_fixture("d7_violation.rs", "crates/ring/src/churn.rs");
-    assert!(v.is_empty(), "churn.rs is not a D7 hot-path module: {v:?}");
+    let v = check_fixture("d7_violation.rs", "crates/ring/src/messages.rs");
+    assert!(v.is_empty(), "messages.rs is not a D7 hot-path module: {v:?}");
     let v = check_fixture("d7_violation.rs", "crates/sim/src/runner.rs");
     assert!(v.is_empty(), "D7 is scoped to crates/ring: {v:?}");
 }

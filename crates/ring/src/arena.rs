@@ -12,10 +12,14 @@
 //! * [`FingerTable`] — the finger table as an inline
 //!   `[RingId; RING_BITS]` plus a presence bitmask, heap-free;
 //! * [`RingArena`] — the slab that owns every node record. Together with the
-//!   id column kept by [`crate::index::NodeIndex`] this is the network's
-//!   columnar store: a dense sorted `Vec<RingId>` for search, and one
+//!   id and order columns kept by [`crate::index::NodeIndex`] this is the
+//!   network's columnar store: a dense sorted `Vec<RingId>` for search, a
+//!   `Vec<u32>` permutation mapping ring positions to slots, and one
 //!   contiguous slab of fixed-size records for state. Forking a network
-//!   clones two flat vectors (data stores stay CoW behind their `Arc`s).
+//!   clones three flat vectors (data stores stay CoW behind their `Arc`s),
+//!   and a membership change splices the 12-byte-per-position columns — the
+//!   records never move, so churn at 10⁶ peers costs kilobytes of memmove,
+//!   not megabytes.
 //!
 //! [`RingArena::wire_perfect`] rebuilds *perfect* routing state in
 //! `O(P · RING_BITS)`: for a fixed finger level `f`, the targets
@@ -295,15 +299,21 @@ impl std::fmt::Debug for FingerTable {
     }
 }
 
-/// The slab owning every node record, kept in ring (ascending id) order in
-/// lockstep with the id column held by [`crate::index::NodeIndex`].
+/// The slab owning every node record, addressed through the permutation
+/// column kept by [`crate::index::NodeIndex`].
 ///
 /// Records are fixed-size (successors and fingers inline, store and replica
 /// payloads behind CoW handles), so the slab is one contiguous allocation
-/// and positional access never chases a pointer.
+/// and positional access never chases a pointer. Records are **slot-stable**:
+/// a membership change splices the 12-byte-per-position `(key, order)`
+/// columns, never the ~650-byte records themselves, and a freed slot is
+/// recycled through a free list (`alloc_slot` / `free_slot`) so a warmed
+/// join/leave cycle allocates nothing. Ring order lives entirely in the
+/// `order` column; slot indices carry no ordering meaning.
 #[derive(Debug, Clone, Default)]
 pub struct RingArena {
     slots: Vec<Node>,
+    free: Vec<u32>,
 }
 
 impl RingArena {
@@ -316,73 +326,93 @@ impl RingArena {
     /// An empty arena with room for `n` records.
     /// Deterministic: constructs fixed contents for the given capacity.
     pub fn with_capacity(n: usize) -> Self {
-        Self { slots: Vec::with_capacity(n) }
+        Self { slots: Vec::with_capacity(n), free: Vec::new() }
     }
 
-    /// Number of records.
-    /// Deterministic: reads the slab length.
+    /// Number of live records (slab size minus the free list).
+    /// Deterministic: reads the column lengths.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.slots.len() - self.free.len()
     }
 
-    /// Whether the arena holds no records.
-    /// Deterministic: reads the slab length.
+    /// Whether the arena holds no live records.
+    /// Deterministic: reads the column lengths.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
     }
 
-    /// The record at position `i`.
+    /// The record in slot `i`.
     #[inline]
     /// Deterministic: reads the indexed slot.
     pub fn slot(&self, i: usize) -> &Node {
         &self.slots[i]
     }
 
-    /// Mutable access to the record at position `i`.
+    /// Mutable access to the record in slot `i`.
     #[inline]
     /// Deterministic: borrows the indexed slot.
     pub fn slot_mut(&mut self, i: usize) -> &mut Node {
         &mut self.slots[i]
     }
 
-    /// Appends a record (bulk construction: ids arrive pre-sorted).
+    /// Appends a record at the next slab position (bulk construction: ids
+    /// arrive pre-sorted, so slot order equals ring order and the order
+    /// column is the identity).
+    ///
+    /// # Panics
+    /// Panics if slots have been freed — bulk append on a recycled slab
+    /// would desync slot indices from positions.
     /// Deterministic: appends in call order; no hidden ordering.
     pub fn push(&mut self, node: Node) {
+        assert!(self.free.is_empty(), "bulk push on an arena with freed slots");
         self.slots.push(node);
     }
 
-    /// Inserts a record at position `i` (incremental join: `O(P)` memmove).
-    /// Deterministic: index-addressed insert with a right shift.
-    pub fn insert(&mut self, i: usize, node: Node) {
-        self.slots.insert(i, node);
+    /// Stores `node` in a recycled slot if one is free, else appends;
+    /// returns the slot index. Allocation-free once the slab has capacity
+    /// and the free list is non-empty.
+    /// Deterministic: recycles most-recently-freed first (LIFO).
+    pub fn alloc_slot(&mut self, node: Node) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = node;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("arena slot count exceeds u32");
+                self.slots.push(node);
+                s
+            }
+        }
     }
 
-    /// Removes and returns the record at position `i`.
-    /// Deterministic: index-addressed removal with a left shift.
-    pub fn remove(&mut self, i: usize) -> Node {
-        self.slots.remove(i)
+    /// Retires slot `s` to the free list, returning its record (the slot
+    /// itself keeps a zeroed tombstone until recycled).
+    /// Deterministic: swaps the indexed slot; LIFO free list.
+    pub fn free_slot(&mut self, s: u32) -> Node {
+        let node = std::mem::replace(&mut self.slots[s as usize], Node::new(RingId(0)));
+        self.free.push(s);
+        node
     }
 
-    /// Replaces the record at position `i`, returning the old one.
+    /// Ensures room for `additional` more live records without reallocating
+    /// mid-mutation.
+    /// Deterministic: capacity growth only; contents untouched.
+    pub fn reserve(&mut self, additional: usize) {
+        let fresh = additional.saturating_sub(self.free.len());
+        self.slots.reserve(fresh);
+        self.free.reserve(additional);
+    }
+
+    /// Replaces the record in slot `i`, returning the old one.
     /// Deterministic: swaps the indexed slot.
     pub fn replace(&mut self, i: usize, node: Node) -> Node {
         std::mem::replace(&mut self.slots[i], node)
     }
 
-    /// Records in ring order.
-    /// Deterministic: iterates slots in index order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Node> {
-        self.slots.iter()
-    }
-
-    /// Mutable records in ring order.
-    /// Deterministic: iterates slots in index order.
-    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Node> {
-        self.slots.iter_mut()
-    }
-
     /// Resets every record's routing state to the perfect steady state for
-    /// the id column `keys`, in `O(P · RING_BITS)`.
+    /// the id column `keys` (ring position `i` living in slot `order[i]`),
+    /// in `O(P · RING_BITS)`.
     ///
     /// Successors and predecessors read straight off ring order. Fingers use
     /// a monotone sweep per level: for fixed `f` the (un-wrapped) targets
@@ -392,16 +422,18 @@ impl RingArena {
     /// `true_owner` binary search it replaced.
     ///
     /// # Panics
-    /// Panics if `keys` and the arena disagree in length (the columns are
+    /// Panics if `keys` and `order` disagree in length (the columns are
     /// out of lockstep).
-    /// Deterministic: a pure function of the sorted `keys` slice.
-    pub fn wire_perfect(&mut self, keys: &[RingId]) {
+    /// Deterministic: a pure function of the sorted `keys` and `order`
+    /// columns.
+    pub fn wire_perfect(&mut self, keys: &[RingId], order: &[u32]) {
         let p = keys.len();
-        assert_eq!(p, self.slots.len(), "id column and arena out of lockstep");
+        assert_eq!(p, order.len(), "id column and order column out of lockstep");
         if p == 0 {
             return;
         }
-        for (i, node) in self.slots.iter_mut().enumerate() {
+        for i in 0..p {
+            let node = &mut self.slots[order[i] as usize];
             node.predecessor = Some(keys[(i + p - 1) % p]);
             let mut succs = SuccessorList::new();
             for k in 1..=SUCCESSOR_LIST_LEN.min(p - 1).max(1) {
@@ -429,28 +461,59 @@ impl RingArena {
                 // j == 2p can only mean the target wrapped past the top of
                 // the doubled column; ownership wraps to the first peer.
                 let owner = keys[if j < 2 * p { j % p } else { 0 }];
-                self.slots[i].fingers.set(f, Some(owner));
+                self.slots[order[i] as usize].fingers.set(f, Some(owner));
             }
         }
     }
 
-    /// Column-consistency oracle for the DST harness: the id column and the
-    /// record slab must be in lockstep (same length, strictly sorted ids,
-    /// record id matching its column entry) and every inline list must be
-    /// shape-valid (length in bounds, vacated slots normalized). Returns a
-    /// list of violations (empty = consistent).
-    /// Deterministic: scans slots in index order; messages are stable.
-    pub fn check_columns(&self, keys: &[RingId]) -> Vec<String> {
+    /// Column-consistency oracle for the DST harness: the id and order
+    /// columns must be in lockstep (same length, strictly sorted ids, each
+    /// position's slot live and holding the matching id), the order and free
+    /// columns must partition the slab (every slot referenced exactly once),
+    /// and every inline list must be shape-valid (length in bounds, vacated
+    /// slots normalized). Returns a list of violations (empty = consistent).
+    /// Deterministic: scans positions in ring order; messages are stable.
+    pub fn check_columns(&self, keys: &[RingId], order: &[u32]) -> Vec<String> {
         let mut violations = Vec::new();
-        if keys.len() != self.slots.len() {
+        if keys.len() != order.len() {
             violations.push(format!(
-                "id column has {} entries but arena has {} records",
+                "id column has {} entries but order column has {}",
                 keys.len(),
-                self.slots.len()
+                order.len()
             ));
             return violations;
         }
-        for (i, (&key, node)) in keys.iter().zip(self.slots.iter()).enumerate() {
+        if order.len() + self.free.len() != self.slots.len() {
+            violations.push(format!(
+                "order ({}) + free ({}) entries do not cover the {}-slot slab",
+                order.len(),
+                self.free.len(),
+                self.slots.len()
+            ));
+        }
+        let mut seen = vec![false; self.slots.len()];
+        for &s in &self.free {
+            match seen.get_mut(s as usize) {
+                Some(flag) if !*flag => *flag = true,
+                Some(_) => violations.push(format!("slot {s} freed twice")),
+                None => violations.push(format!("free list references slot {s} out of bounds")),
+            }
+        }
+        for (i, (&key, &s)) in keys.iter().zip(order.iter()).enumerate() {
+            let node = match seen.get_mut(s as usize) {
+                Some(flag) if !*flag => {
+                    *flag = true;
+                    &self.slots[s as usize]
+                }
+                Some(_) => {
+                    violations.push(format!("position {i} references slot {s} already claimed"));
+                    continue;
+                }
+                None => {
+                    violations.push(format!("position {i} references slot {s} out of bounds"));
+                    continue;
+                }
+            };
             if node.id != key {
                 violations.push(format!("column desync at {i}: key {key} vs record {}", node.id));
             }
@@ -565,7 +628,8 @@ mod tests {
         for &k in &keys {
             arena.push(Node::new(k));
         }
-        arena.wire_perfect(&keys);
+        let order: Vec<u32> = (0..keys.len() as u32).collect();
+        arena.wire_perfect(&keys, &order);
         let true_owner = |t: RingId| -> RingId {
             let pos = keys.partition_point(|&k| k < t);
             keys[if pos == keys.len() { 0 } else { pos }]
@@ -582,7 +646,7 @@ mod tests {
             assert_eq!(node.predecessor, Some(keys[(i + keys.len() - 1) % keys.len()]));
             assert_eq!(node.successor(), Some(keys[(i + 1) % keys.len()]));
         }
-        assert!(arena.check_columns(&keys).is_empty());
+        assert!(arena.check_columns(&keys, &order).is_empty());
     }
 
     #[test]
@@ -590,7 +654,7 @@ mod tests {
         let keys = vec![RingId(42)];
         let mut arena = RingArena::new();
         arena.push(Node::new(RingId(42)));
-        arena.wire_perfect(&keys);
+        arena.wire_perfect(&keys, &[0]);
         let node = arena.slot(0);
         assert_eq!(node.predecessor, Some(RingId(42)));
         assert_eq!(node.successor(), Some(RingId(42)));
@@ -600,13 +664,58 @@ mod tests {
     }
 
     #[test]
+    fn wire_perfect_follows_a_permuted_order_column() {
+        // Ring position i lives in an arbitrary slot; wiring must land on
+        // the slot the order column names, not on slab position i.
+        let keys = vec![RingId(10), RingId(20), RingId(30)];
+        let order = vec![2u32, 0, 1];
+        let mut arena = RingArena::new();
+        arena.push(Node::new(RingId(20))); // slot 0 = position 1
+        arena.push(Node::new(RingId(30))); // slot 1 = position 2
+        arena.push(Node::new(RingId(10))); // slot 2 = position 0
+        arena.wire_perfect(&keys, &order);
+        assert!(arena.check_columns(&keys, &order).is_empty());
+        for (i, &s) in order.iter().enumerate() {
+            let node = arena.slot(s as usize);
+            assert_eq!(node.id, keys[i]);
+            assert_eq!(node.successor(), Some(keys[(i + 1) % 3]));
+            assert_eq!(node.predecessor, Some(keys[(i + 2) % 3]));
+        }
+    }
+
+    #[test]
+    fn alloc_slot_recycles_freed_slots() {
+        let mut arena = RingArena::new();
+        let a = arena.alloc_slot(Node::new(RingId(1)));
+        let b = arena.alloc_slot(Node::new(RingId(2)));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(arena.len(), 2);
+        let gone = arena.free_slot(a);
+        assert_eq!(gone.id, RingId(1));
+        assert_eq!(arena.len(), 1);
+        // LIFO recycling: the freed slot is reused before the slab grows.
+        let c = arena.alloc_slot(Node::new(RingId(3)));
+        assert_eq!(c, a);
+        assert_eq!(arena.slot(c as usize).id, RingId(3));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
     fn check_columns_flags_desync() {
         let keys = vec![RingId(10), RingId(20)];
         let mut arena = RingArena::new();
         arena.push(Node::new(RingId(10)));
         arena.push(Node::new(RingId(99))); // record disagrees with column
-        let violations = arena.check_columns(&keys);
+        let violations = arena.check_columns(&keys, &[0, 1]);
         assert!(violations.iter().any(|v| v.contains("column desync")), "{violations:?}");
-        assert!(arena.check_columns(&keys[..1]).iter().any(|v| v.contains("entries")));
+        assert!(arena.check_columns(&keys[..1], &[0, 1]).iter().any(|v| v.contains("entries")));
+        // A position must not reference a freed slot, and the order + free
+        // columns must cover the slab exactly.
+        let _ = arena.free_slot(1);
+        let violations = arena.check_columns(&keys, &[0, 1]);
+        assert!(violations.iter().any(|v| v.contains("already claimed")), "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("cover")), "{violations:?}");
+        // With the freed slot accounted for, the shrunken columns are clean.
+        assert!(arena.check_columns(&keys[..1], &[0]).is_empty());
     }
 }

@@ -36,7 +36,9 @@
 //! * [`messages`] — message kinds and cost accounting;
 //! * [`network`] — the overlay itself: build, route, probe;
 //! * [`membership`] — join / leave / fail / stabilize;
-//! * [`churn`] — Poisson churn process driver.
+//! * [`churn`] — Poisson churn process driver plus the amortized
+//!   arena-churn path (single-event `churn_*` drivers and batched
+//!   [`ChurnBatch`] repair sweeps for mega-scale networks).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -58,10 +60,10 @@ pub mod store;
 
 pub use arena::{FingerTable, RingArena, SuccessorList};
 pub use batch::BatchRouter;
-pub use churn::{ChurnConfig, ChurnProcess};
+pub use churn::{ChurnApplied, ChurnBatch, ChurnConfig, ChurnEvent, ChurnProcess};
 pub use faults::{DelayDist, FaultDecision, FaultPlan};
 pub use id::RingId;
-pub use index::NodeIndex;
+pub use index::{NodeIndex, RepairStats};
 pub use messages::{MessageKind, MessageStats};
 pub use network::{LookupError, LookupResult, Network, ProbeReply};
 pub use node::{Node, RouteBuf};

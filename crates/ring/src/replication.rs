@@ -33,9 +33,10 @@ impl Network {
     /// message charges). Called by [`Network::set_replication`].
     pub(crate) fn reseed_replicas(&mut self) {
         let ids: Vec<RingId> = self.nodes.keys().copied().collect();
-        // Clear all existing replica state first.
-        for node in self.nodes.values_mut() {
-            node.replicas.clear();
+        // Clear all existing replica state first (positional walk: the
+        // index hands out one mutable record at a time).
+        for i in 0..self.nodes.len() {
+            self.nodes.node_at_mut(i).replicas.clear();
         }
         if self.replication == 0 {
             return;

@@ -9,21 +9,39 @@ use dde_stats::equidepth::EquiDepthSummary;
 use rand::Rng;
 use std::sync::Arc;
 
+/// The process-wide empty backing vector. Every fresh store borrows this
+/// allocation until its first write, so constructing a [`crate::Node`] —
+/// and hence staging a join in a `ChurnBatch` — costs zero allocations
+/// (fenced in `ring/tests/alloc_free.rs`). `Arc::make_mut` sees the shared
+/// count and detaches on first mutation, exactly like a forked store.
+fn shared_empty() -> Arc<Vec<f64>> {
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Arc<Vec<f64>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
 /// A peer's local data: values sorted ascending.
 ///
 /// The backing vector sits behind an [`Arc`] so cloning a store — and hence
 /// forking a whole loaded [`crate::Network`] from a cached scenario
 /// snapshot — is O(1) per peer; the first mutation of a shared store copies
 /// it (`Arc::make_mut`).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalStore {
     sorted: Arc<Vec<f64>>,
 }
 
+impl Default for LocalStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl LocalStore {
-    /// An empty store.
+    /// An empty store (no allocation: the backing vector is the shared
+    /// process-wide empty until the first write).
     pub fn new() -> Self {
-        Self::default()
+        Self { sorted: shared_empty() }
     }
 
     /// Builds from unsorted values.
@@ -51,10 +69,24 @@ impl LocalStore {
     }
 
     /// Adds many values at once, re-sorting once (`O((n+m) log (n+m))`).
+    /// An empty iterator is a guaranteed no-op (no copy-on-write detach), so
+    /// empty handoffs under batched churn stay allocation-free.
     pub fn extend_values(&mut self, values: impl IntoIterator<Item = f64>) {
+        let mut it = values.into_iter();
+        let Some(first) = it.next() else { return };
         let sorted = Arc::make_mut(&mut self.sorted);
-        sorted.extend(values);
+        sorted.push(first);
+        sorted.extend(it);
         sorted.sort_by(f64::total_cmp);
+    }
+
+    /// Drops all items, keeping the backing allocation when this store owns
+    /// it (so a recycled arena slot's store can refill without reallocating).
+    pub fn clear(&mut self) {
+        match Arc::get_mut(&mut self.sorted) {
+            Some(v) => v.clear(),
+            None => self.sorted = shared_empty(),
+        }
     }
 
     /// Number of items `<= x` (exact).
@@ -89,8 +121,12 @@ impl LocalStore {
         Arc::make_mut(&mut self.sorted).drain(a..b).collect()
     }
 
-    /// Removes and returns all items (graceful-leave handoff).
+    /// Removes and returns all items (graceful-leave handoff). Guaranteed
+    /// not to allocate (or detach a shared backing) when already empty.
     pub fn drain_all(&mut self) -> Vec<f64> {
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
         std::mem::take(Arc::make_mut(&mut self.sorted))
     }
 
@@ -109,6 +145,9 @@ impl LocalStore {
     /// the remainder. Used for handoff under hashed placement, where the
     /// handoff set is defined in *ring* space, not value space.
     pub fn drain_by(&mut self, mut pred: impl FnMut(f64) -> bool) -> Vec<f64> {
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         Arc::make_mut(&mut self.sorted).retain(|&x| {
             if pred(x) {

@@ -6,9 +6,10 @@
 //! candidates, stack successor snapshots, array-indexed message counters —
 //! and this test is the regression fence that keeps it that way.
 
-use dde_ring::{BatchRouter, Network, Placement, RingId};
+use dde_ring::{BatchRouter, ChurnBatch, Network, Placement, RingId};
 use dde_stats::alloc::{thread_allocations, CountingAlloc};
 use dde_stats::rng::{Component, SeedSequence};
+use rand::rngs::StdRng;
 use rand::Rng;
 
 #[global_allocator]
@@ -105,6 +106,58 @@ fn bulk_built_lookup_stays_allocation_free() {
     let delta = thread_allocations() - before;
     assert!(hops > 1_000, "multi-hop routes expected in a 500+-peer ring");
     assert_eq!(delta, 0, "bulk-built lookup allocated {delta} times over 1000 lookups");
+}
+
+/// One churn window: 8 joins at fresh uniform ids, 4 graceful leaves, and
+/// 4 crashes, coalesced into a single batched repair sweep. Returns the
+/// number of membership events actually applied.
+fn churn_window(net: &mut Network, batch: &mut ChurnBatch, rng: &mut StdRng) -> u64 {
+    for _ in 0..8 {
+        batch.join(RingId(rng.gen()));
+    }
+    for _ in 0..4 {
+        batch.leave(net.random_peer(rng).expect("nonempty"));
+    }
+    for _ in 0..4 {
+        batch.crash(net.random_peer(rng).expect("nonempty"));
+    }
+    let applied = batch.apply(net);
+    applied.joins + applied.leaves + applied.crashes
+}
+
+#[test]
+fn warmed_batch_churn_allocates_nothing() {
+    // The amortized mutation path: a warmed `ChurnBatch` window — staged
+    // joins in recycled arena slots, column splice through the batch's
+    // retained spare buffers, one monotone repair sweep — must stay off the
+    // heap on a data-free ring. Every buffer involved is cleared between
+    // windows, never dropped, and each window's deaths release the very
+    // slots the next window's joins claim through the arena's LIFO free
+    // list. Windows are kept small enough (16 events) that the batch's
+    // id-ordering sorts stay in their no-buffer insertion regime.
+    let seq = SeedSequence::new(0xC4A2);
+    let mut id_rng = seq.stream(Component::NodeIds, 4);
+    let mut ids: Vec<RingId> = (0..512).map(|_| RingId(id_rng.gen())).collect();
+    ids.sort();
+    ids.dedup();
+    let mut net = Network::build_bulk(ids, Placement::range(0.0, 1000.0));
+    let mut rng = seq.stream(Component::Churn, 0);
+    let mut batch = ChurnBatch::new();
+
+    // Warm-up: sets the event/overlay/spare-column high-water marks and
+    // seeds the free list with the slots the measured joins will reuse.
+    for _ in 0..4 {
+        churn_window(&mut net, &mut batch, &mut rng);
+    }
+
+    let before = thread_allocations();
+    let mut applied = 0u64;
+    for _ in 0..64 {
+        applied += churn_window(&mut net, &mut batch, &mut rng);
+    }
+    let delta = thread_allocations() - before;
+    assert!(applied > 900, "windows must actually churn, applied only {applied} events");
+    assert_eq!(delta, 0, "warmed batch churn allocated {delta} times over 64 windows");
 }
 
 #[test]

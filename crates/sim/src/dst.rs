@@ -7,7 +7,7 @@
 //!   `Join / Leave / Crash / Heal / Insert / Probe / EstimateRefresh /
 //!   FaultWindow` events — plus the adversarial pack: `FlashCrowd /
 //!   HotspotBurst / CapacitySkew / ArcPartition / AdversarialJoin /
-//!   BulkJoinBlock / WorkloadBurst` (see
+//!   BulkJoinBlock / WorkloadBurst / ChurnWindow` (see
 //!   `TESTING.md` §scenario axes) — from a master seed. Every event carries *concrete*
 //!   parameters (entropy words, peer ranks resolved against the alive set at
 //!   application time), never a shared RNG — so removing events during
@@ -33,7 +33,7 @@ use crate::build::build;
 use crate::exec::ExecPlan;
 use crate::scenario::Scenario;
 use dde_core::{ContinuousConfig, ContinuousEstimator, DfDde, DfDdeConfig, ProbePlan};
-use dde_ring::{BatchRouter, FaultPlan, Network, RingId};
+use dde_ring::{BatchRouter, ChurnBatch, FaultPlan, Network, RingId};
 use dde_stats::rng::{splitmix64, Component, SeedSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -182,6 +182,18 @@ pub enum DstEvent {
         /// Foreground ops in the burst.
         count: u16,
     },
+    /// A coalesced membership window: ~`count` joins, leaves, and crashes
+    /// (split 2:1:1) queued together and applied as one
+    /// [`dde_ring::ChurnBatch`] — a single column splice plus one monotone
+    /// repair sweep, the amortized mega-scale mutation path under fuzz.
+    /// On a converged ring the sweep must leave the *full* ground-truth
+    /// invariants clean, with item losses exactly the crashed primaries'.
+    ChurnWindow {
+        /// Raw entropy the joiner ids and victim ranks derive from.
+        entropy: u64,
+        /// Membership events queued in the window.
+        count: u16,
+    },
 }
 
 impl std::fmt::Display for DstEvent {
@@ -242,6 +254,9 @@ impl std::fmt::Display for DstEvent {
                     f,
                     "WorkloadBurst(origin_rank: {origin_rank}, entropy: {entropy}, count: {count})"
                 )
+            }
+            DstEvent::ChurnWindow { entropy, count } => {
+                write!(f, "ChurnWindow(entropy: {entropy}, count: {count})")
             }
         }
     }
@@ -358,6 +373,7 @@ fn random_event(rng: &mut StdRng) -> DstEvent {
         },
         115..=117 => DstEvent::AdversarialJoin { jitter: rng.gen() },
         118..=121 => DstEvent::BulkJoinBlock { id_entropy: rng.gen(), count: rng.gen_range(2..=8) },
+        122..=124 => DstEvent::ChurnWindow { entropy: rng.gen(), count: rng.gen_range(6..=24) },
         _ => DstEvent::WorkloadBurst {
             origin_rank: rng.gen(),
             entropy: rng.gen(),
@@ -430,6 +446,14 @@ struct World {
     prev_bytes: u64,
     prev_delay: u64,
     estimates: usize,
+    /// Whether the ring's wiring is fully converged (perfect successors,
+    /// lists, and fingers everywhere). True after the bulk build, a
+    /// quiesced `Heal`, or a `BulkJoinBlock` full rewire; false once any
+    /// one-at-a-time overlay membership event leaves stale fingers behind.
+    /// Gates the `ChurnWindow` full-oracle check: a batched repair sweep
+    /// preserves convergence, but cannot be blamed for staleness it
+    /// inherited.
+    converged: bool,
 }
 
 impl World {
@@ -460,6 +484,7 @@ impl World {
             prev_bytes: 0,
             prev_delay: 0,
             estimates: 0,
+            converged: true,
         }
     }
 
@@ -478,12 +503,14 @@ impl World {
                     let bootstrap = self.peer_at(bootstrap_rank);
                     // Joins may legitimately fail under faults (lookup lost).
                     let _ = self.net.join(id, bootstrap);
+                    self.converged = false;
                 }
             }
             DstEvent::Leave { victim_rank } => {
                 if self.net.len() > MIN_PEERS {
                     let victim = self.peer_at(victim_rank);
                     let _ = self.net.leave(victim);
+                    self.converged = false;
                 }
             }
             DstEvent::Crash { victim_rank } => {
@@ -491,6 +518,7 @@ impl World {
                     let victim = self.peer_at(victim_rank);
                     let _ = self.net.fail(victim);
                     self.crashes += 1;
+                    self.converged = false;
                 }
             }
             DstEvent::Heal => {
@@ -520,6 +548,7 @@ impl World {
                 for v in self.net.check_invariants() {
                     extra.push(format!("post-heal: {v}"));
                 }
+                self.converged = quiesced;
             }
             DstEvent::Insert { initiator_rank, value_entropy } => {
                 let initiator = self.peer_at(initiator_rank);
@@ -607,6 +636,7 @@ impl World {
                         // Individual joins may fail under faults; what must
                         // hold regardless is conservation, checked below.
                         let _ = self.net.join(id, bootstrap);
+                        self.converged = false;
                     }
                 }
                 // Joins move items, never mint or destroy them (DST plans
@@ -686,6 +716,7 @@ impl World {
                     let items_before = self.net.total_items();
                     if !self.net.is_alive(id) {
                         let _ = self.net.join(id, target);
+                        self.converged = false;
                     }
                     let items_after = self.net.total_items();
                     if items_after != items_before {
@@ -706,6 +737,7 @@ impl World {
                 // ring was in before (crashed peers leave the columns when
                 // they die): the *full* convergence oracle must be clean
                 // immediately, no Heal in between.
+                self.converged = true;
                 for v in self.net.check_invariants() {
                     extra.push(format!("post-bulk-join: {v}"));
                 }
@@ -764,6 +796,54 @@ impl World {
                                 r.count
                             ));
                         }
+                    }
+                }
+            }
+            DstEvent::ChurnWindow { entropy, count } => {
+                let was_converged = self.converged;
+                let items_before = self.net.total_items();
+                let mut batch = ChurnBatch::new();
+                let joins = (usize::from(count) / 2).max(1);
+                // Deaths are capped so the window alone can never sink the
+                // ring below the floor, even if every queued join collides.
+                let deaths =
+                    (usize::from(count) / 4).min(self.net.len().saturating_sub(MIN_PEERS) / 2);
+                for i in 0..joins as u64 {
+                    batch.join(RingId(splitmix64(entropy.wrapping_add(i))));
+                }
+                for i in 0..deaths as u64 {
+                    batch.leave(self.peer_at(splitmix64(entropy ^ (2 * i + 1))));
+                }
+                for i in 0..deaths as u64 {
+                    batch.crash(self.peer_at(splitmix64(entropy ^ (2 * i + 2))));
+                }
+                let applied = batch.apply(&mut self.net);
+                self.crashes += applied.crashes as usize;
+                if applied.crashes > 0 {
+                    // Crashed primaries' data is gone until a Heal promotes
+                    // replicas; the conservation oracle accounts per-event
+                    // below, but the running bound must shrink too.
+                    self.initial_items =
+                        self.initial_items.saturating_sub(applied.lost.len() as u64);
+                }
+                // Handoffs conserve: the only items a window may lose are
+                // the crashed primaries', and the batch reports each one.
+                let items_after = self.net.total_items();
+                if items_after + applied.lost.len() as u64 != items_before {
+                    extra.push(format!(
+                        "churn window broke item conservation: {items_before} -> {items_after} \
+                         with {} reported lost",
+                        applied.lost.len()
+                    ));
+                }
+                // On a converged ring, one batched repair sweep must restore
+                // *full* convergence — perfect successors, lists, and
+                // fingers everywhere — with no Heal in between. (On a ring
+                // already degraded by one-at-a-time churn, the sweep repairs
+                // only what it touched; the full oracle waits for Heal.)
+                if was_converged {
+                    for v in self.net.check_invariants() {
+                        extra.push(format!("post-churn-window: {v}"));
                     }
                 }
             }
@@ -1142,6 +1222,9 @@ fn parse_event(line: &str) -> Result<DstEvent, String> {
             entropy: get("entropy")?,
             count: get("count")? as u16,
         }),
+        "ChurnWindow" => {
+            Ok(DstEvent::ChurnWindow { entropy: get("entropy")?, count: get("count")? as u16 })
+        }
         other => Err(format!("unknown event: {other:?}")),
     }
 }

@@ -19,6 +19,7 @@
 pub mod f10_replication;
 pub mod f11_faults;
 pub mod f12_scale;
+pub mod f12b_churn;
 pub mod f13_adversarial;
 pub mod f14_throughput;
 pub mod f1_probes;
@@ -40,6 +41,7 @@ pub mod t5_aggregates;
 pub use f10_replication::f10_replication;
 pub use f11_faults::f11_faults;
 pub use f12_scale::f12_scale;
+pub use f12b_churn::f12b_churn;
 pub use f13_adversarial::f13_adversarial;
 pub use f14_throughput::f14_throughput;
 pub use f1_probes::f1_accuracy_vs_probes;
@@ -97,6 +99,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.extend(f10_replication(scale));
     tables.extend(f11_faults(scale));
     tables.extend(f12_scale(scale));
+    tables.extend(f12b_churn(scale));
     tables.extend(f13_adversarial(scale));
     tables.extend(f14_throughput(scale));
     tables.extend(t2_messages_to_target_accuracy(scale));
@@ -123,6 +126,7 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "f10" => f10_replication(scale),
         "f11" => f11_faults(scale),
         "f12" => f12_scale(scale),
+        "f12b" => f12b_churn(scale),
         "f13" => f13_adversarial(scale),
         "f14" => f14_throughput(scale),
         "t2" => t2_messages_to_target_accuracy(scale),
@@ -135,6 +139,6 @@ pub fn run_by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
 
 /// All experiment ids, in run order.
 pub const ALL_IDS: &[&str] = &[
-    "t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13",
-    "f14", "t2", "t3", "t4", "t5",
+    "t1", "f1", "f2", "f3", "f4", "f5", "f5b", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f12b",
+    "f13", "f14", "t2", "t3", "t4", "t5",
 ];

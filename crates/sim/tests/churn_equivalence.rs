@@ -1,0 +1,168 @@
+//! `ChurnBatch::apply` ≡ the one-at-a-time arena churn path.
+//!
+//! The batched repair sweep coalesces a whole window of membership events
+//! into one column splice and one monotone repair pass, so its claim to
+//! correctness is *equivalence*: the network it leaves behind must be
+//! indistinguishable from applying the same events through
+//! `churn_join` / `churn_leave` / `churn_crash` in recorded order —
+//! identical membership, successor lists, predecessors, finger tables,
+//! per-peer stores, Handoff/Stabilize message charges, and seeded lookup
+//! routes (hop for hop). Epoch counters differ by construction (one bump
+//! per batch vs one per event) and are deliberately out of scope.
+//!
+//! Property-tested over seeds × sizes × every node layout the scenario
+//! builders emit, with a pinned 4096-peer adversarial cell guarding the
+//! shape where repair locality actually matters.
+
+use dde_ring::{ChurnBatch, ChurnEvent, MessageKind, Network, Placement, RingId};
+use dde_sim::{build_fresh, NodeLayout, Scenario};
+use dde_stats::rng::{Component, SeedSequence};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Ring ids drawn from a real scenario build, so the sweep covers the id
+/// *shapes* the suite actually runs, not just uniform entropy.
+fn layout_ids(seed: u64, peers: usize, layout: NodeLayout) -> Vec<RingId> {
+    let s =
+        Scenario::default().with_peers(peers).with_items(1_000).with_seed(seed).with_layout(layout);
+    build_fresh(&s).net.ids().collect()
+}
+
+/// A mixed membership window: ~6% joins, ~3% leaves, ~3% crashes (at least
+/// one of each), all on distinct ids so the batch's one-event-per-id policy
+/// is not exercised (its skip behavior has its own pinned unit tests).
+fn event_window(net: &Network, seed: u64) -> Vec<ChurnEvent> {
+    let mut rng = SeedSequence::new(seed).stream(Component::Churn, 11);
+    let ids: Vec<RingId> = net.ids().collect();
+    let p = ids.len();
+    let joins = (p / 16).max(2);
+    let deaths = (p / 16).max(2);
+    let mut events = Vec::new();
+    for _ in 0..joins {
+        loop {
+            let id = RingId(rng.gen());
+            if !net.is_alive(id) && !events.iter().any(|e: &ChurnEvent| e.id() == id) {
+                events.push(ChurnEvent::Join(id));
+                break;
+            }
+        }
+    }
+    // Distinct victims, spread across the ring.
+    let mut victims: Vec<usize> = Vec::new();
+    while victims.len() < deaths {
+        let v = rng.gen_range(0..p);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    for (k, &v) in victims.iter().enumerate() {
+        if k % 2 == 0 {
+            events.push(ChurnEvent::Leave(ids[v]));
+        } else {
+            events.push(ChurnEvent::Crash(ids[v]));
+        }
+    }
+    // Interleave so joins and departures alternate through the window
+    // (order-dependent heir/donor resolution is the hard part).
+    let mut shuffled = Vec::with_capacity(events.len());
+    while !events.is_empty() {
+        let i = rng.gen_range(0..events.len());
+        shuffled.push(events.swap_remove(i));
+    }
+    shuffled
+}
+
+/// The equivalence oracle: state, charges, and routes must all match.
+fn assert_equivalent(seq: &mut Network, bat: &mut Network, seed: u64) {
+    let ids: Vec<RingId> = seq.ids().collect();
+    assert_eq!(ids, bat.ids().collect::<Vec<_>>(), "membership differs");
+    for &id in &ids {
+        let s = seq.node(id).expect("alive sequentially");
+        let b = bat.node(id).expect("alive in batch");
+        assert_eq!(s.successors, b.successors, "{id}: successor lists differ");
+        assert_eq!(s.predecessor, b.predecessor, "{id}: predecessors differ");
+        assert_eq!(s.fingers, b.fingers, "{id}: finger tables differ");
+        assert_eq!(s.store.values(), b.store.values(), "{id}: stores differ");
+    }
+    for kind in [MessageKind::Handoff, MessageKind::Stabilize] {
+        assert_eq!(
+            seq.stats().count(kind),
+            bat.stats().count(kind),
+            "{kind:?} message counts differ"
+        );
+    }
+    assert_eq!(seq.stats().total_bytes(), bat.stats().total_bytes(), "byte charges differ");
+
+    // Both paths leave a fully consistent overlay.
+    assert!(seq.check_invariants().is_empty(), "{:?}", seq.check_invariants());
+    assert!(bat.check_invariants().is_empty(), "{:?}", bat.check_invariants());
+
+    // Same seeded routes, hop for hop.
+    let mut rng = SeedSequence::new(seed).stream(Component::Workload, 7);
+    for probe in 0..64 {
+        let from = ids[rng.gen_range(0..ids.len())];
+        let target = RingId(rng.gen());
+        let a = seq.lookup(from, target).expect("sequential routes");
+        let b = bat.lookup(from, target).expect("batch routes");
+        assert_eq!(a.owner, b.owner, "probe {probe}: owners differ for {target}");
+        assert_eq!(a.hops, b.hops, "probe {probe}: hop counts differ for {target}");
+    }
+}
+
+fn check(seed: u64, peers: usize, layout: NodeLayout) {
+    let ids = layout_ids(seed, peers, layout);
+    let placement = Placement::range(0.0, 1000.0);
+    let mut seq = Network::build_bulk(ids, placement);
+    let mut rng = SeedSequence::new(seed).stream(Component::Dataset, 5);
+    let data: Vec<f64> = (0..peers * 20).map(|_| rng.gen_range(0.0..1000.0)).collect();
+    seq.bulk_load(&data);
+    let mut bat = seq.clone();
+
+    let events = event_window(&seq, seed);
+    let mut applied = 0u64;
+    for &ev in &events {
+        let ok = match ev {
+            ChurnEvent::Join(id) => seq.churn_join(id),
+            ChurnEvent::Leave(id) => seq.churn_leave(id),
+            ChurnEvent::Crash(id) => seq.churn_crash(id),
+        };
+        applied += u64::from(ok);
+    }
+    let mut batch = ChurnBatch::new();
+    for &ev in &events {
+        batch.push(ev);
+    }
+    let out = batch.apply(&mut bat);
+    assert_eq!(
+        out.joins + out.leaves + out.crashes,
+        applied,
+        "batch and sequential paths disagree on feasibility"
+    );
+    assert_equivalent(&mut seq, &mut bat, seed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Equivalence over seeds × layouts at the sizes the quick suite runs.
+    #[test]
+    fn batched_churn_matches_sequential_events(
+        seed in 0u64..(1u64 << 32),
+        peers in prop_oneof![Just(16usize), Just(256usize)],
+        layout in prop_oneof![
+            Just(NodeLayout::UniformIds),
+            Just(NodeLayout::LoadBalanced),
+            Just(NodeLayout::Adversarial),
+        ],
+    ) {
+        check(seed, peers, layout);
+    }
+}
+
+/// One deep cell at the mega-scale shape's edge: 4096 peers, adversarial
+/// layout, a ~500-event window. Pinned seed to keep it out of the proptest
+/// budget.
+#[test]
+fn batched_churn_matches_sequential_events_at_4096() {
+    check(0xF12B, 4_096, NodeLayout::Adversarial);
+}

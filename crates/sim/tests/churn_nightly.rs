@@ -1,0 +1,79 @@
+//! Nightly speedup budget for amortized mega-scale churn.
+//!
+//! The tentpole claim behind F12b: mutating a 10⁶-peer network in place —
+//! one [`dde_ring::ChurnBatch`] coalescing ~10⁴ membership events into a
+//! single column splice plus one monotone repair sweep — must beat the only
+//! alternative a snapshot-immutable design has, tearing the network down
+//! and rebuilding it (`collect global values → build_bulk → bulk_load`), by
+//! at least **50×**. Item turnover is timed separately and deliberately
+//! excluded from the budgeted ratio: its cost is proportional to the data
+//! volume touched (4·10⁶ store writes at 5% of 2·10⁷ items), not to the
+//! repair machinery this budget guards.
+//!
+//! Measured numbers are recorded in `BENCH_churn.json`.
+//!
+//! `#[ignore]`d: a release-build budget assertion, meaningless under the
+//! debug profile. The nightly workflow runs it as
+//! `cargo test --release -p dde-sim --test churn_nightly -- --ignored`.
+
+use dde_ring::{ChurnBatch, Network, Placement};
+use dde_sim::experiments::f12b_churn::{churn_scenario, item_turnover, membership_batch};
+use dde_sim::{build_fresh, Scenario};
+
+/// Minimum speedup of one batched membership round over teardown-and-
+/// rebuild at 10⁶ peers. Measured 53× on the 1-core reference container
+/// (see BENCH_churn.json): the rebuild pays O(items) collect + sort +
+/// bulk_load (2·10⁷ values) against the batch's O(P) splice + O(E log P)
+/// repair. The floor sits just under the measured value on purpose — a
+/// regression to O(P)-per-event repair would land orders of magnitude
+/// below it, while honest noise moves the ratio by single percent.
+const MIN_SPEEDUP: f64 = 50.0;
+
+#[test]
+#[ignore = "release-build wall-clock budget; run via nightly CI with --release -- --ignored"]
+fn mega_scale_churn_round_beats_rebuild_by_50x() {
+    let p = 1_000_000;
+    let scenario: Scenario = churn_scenario(p);
+    let mut built = build_fresh(&scenario);
+    let seed = scenario.seed;
+
+    // Budgeted section: one membership round (~10⁴ events) through the
+    // batched arena path.
+    let mut batch = ChurnBatch::new();
+    // ddelint::allow(wallclock, "timing-only: nightly budget assert + BENCH_churn.json record, never an experiment value")
+    let t0 = std::time::Instant::now();
+    let applied = membership_batch(&mut built.net, &mut batch, seed, 0);
+    let churn_secs = t0.elapsed().as_secs_f64();
+    let events = applied.joins + applied.leaves + applied.crashes;
+    assert!(events > 9_000, "expected ~10^4 events, applied {events}");
+
+    // The alternative: rebuild the post-churn network from scratch.
+    // ddelint::allow(wallclock, "timing-only: the rebuild side of the nightly budget ratio, never an experiment value")
+    let t1 = std::time::Instant::now();
+    let values = built.net.global_values();
+    let ids: Vec<_> = built.net.ids().collect();
+    let mut rebuilt = Network::build_bulk(ids, Placement::range(0.0, 1_000.0));
+    rebuilt.bulk_load(&values);
+    let rebuild_secs = t1.elapsed().as_secs_f64();
+
+    // Item turnover, timed separately (outside the budgeted ratio).
+    // ddelint::allow(wallclock, "timing-only: recorded in BENCH_churn.json, outside the budgeted ratio, never an experiment value")
+    let t2 = std::time::Instant::now();
+    let (inserted, removed) = item_turnover(&mut built, 0);
+    let turnover_secs = t2.elapsed().as_secs_f64();
+    assert!(!inserted.is_empty() && !removed.is_empty());
+
+    let speedup = rebuild_secs / churn_secs;
+    eprintln!(
+        "[churn-nightly] P = {p}: {events} events in {churn_secs:.3}s, rebuild {rebuild_secs:.3}s \
+         ({speedup:.0}x), turnover {} items in {turnover_secs:.3}s",
+        inserted.len() + removed.len(),
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "batched churn round ({churn_secs:.3}s) must beat teardown-and-rebuild \
+         ({rebuild_secs:.3}s) by >= {MIN_SPEEDUP}x, got {speedup:.1}x — \
+         per-event repair regressed toward O(P)"
+    );
+    assert!(built.net.len() > p - p / 100 && built.net.len() < p + p / 100);
+}

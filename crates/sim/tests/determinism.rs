@@ -7,9 +7,11 @@
 //! tables. The experiments here cover the main runner shapes — plain
 //! estimator grids (f1, f3), per-run self-building cells (f5), cells with
 //! fault-plan setup closures (f11), the bulk-built mega-scale sweep (f12),
-//! and the adversarial axis pack whose fault plans and crowds ride in the
-//! scenario itself (f13), and the open-loop serving engine whose cells each
-//! drive thousands of foreground ops (f14).
+//! its churn-at-scale column whose cells mutate the network through batched
+//! membership windows and delta-journaled truth (f12b), the adversarial
+//! axis pack whose fault plans and crowds ride in the scenario itself
+//! (f13), and the open-loop serving engine whose cells each drive thousands
+//! of foreground ops (f14).
 
 use dde_core::{DfDde, DfDdeConfig};
 use dde_sim::exec;
@@ -27,7 +29,7 @@ fn render(tables: &[Table]) -> (String, String) {
 /// global and libtest runs `#[test]`s concurrently.
 #[test]
 fn quick_suite_is_byte_identical_across_jobs() {
-    for id in ["f1", "f3", "f5", "f11", "f12", "f13", "f14"] {
+    for id in ["f1", "f3", "f5", "f11", "f12", "f12b", "f13", "f14"] {
         exec::set_jobs(1);
         let serial = render(&run_by_id(id, Scale::Quick).expect("known id"));
 
@@ -100,4 +102,41 @@ fn snapshot_cache_keys_do_not_collide_for_bulk_built_scenarios() {
         let fresh = build_fresh(&scale_scenario(p));
         assert_eq!(fresh.net.global_values(), forked.net.global_values());
     }
+}
+
+/// The churn column mutates its forked snapshots *in place* — joins splice
+/// the arena columns, crashes drop stores, turnover rewrites data. None of
+/// that may leak back into the cache: a churned scenario's key must never
+/// collide with its static twin's, and a post-churn rebuild of the same
+/// scenario must hand back the pristine snapshot.
+#[test]
+fn churned_forks_do_not_corrupt_the_snapshot_cache() {
+    use dde_sim::experiments::f12_scale::scale_scenario;
+    use dde_sim::experiments::f12b_churn::{churn_phase, churn_scenario};
+
+    for &p in &[50usize, 500] {
+        assert_ne!(
+            format!("{:?}", churn_scenario(p)),
+            format!("{:?}", scale_scenario(p)),
+            "churned and static sweep points share a cache key at P = {p}"
+        );
+    }
+
+    let s = churn_scenario(64);
+    let pristine = build_fresh(&s);
+    let mut churned = build(&s); // primes (or hits) the snapshot cache
+    churn_phase(&mut churned);
+    assert_ne!(
+        pristine.net.global_values(),
+        churned.net.global_values(),
+        "churn must actually change the data"
+    );
+
+    let hit = build(&s); // guaranteed cache hit → fork of the snapshot
+    assert_eq!(hit.net.ids().count(), 64, "cache hit returned the wrong snapshot");
+    assert_eq!(
+        pristine.net.global_values(),
+        hit.net.global_values(),
+        "a churned fork leaked its mutations back into the snapshot cache"
+    );
 }

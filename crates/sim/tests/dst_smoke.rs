@@ -68,6 +68,50 @@ fn f12_smallest_cell_survives_a_fuzzed_schedule() {
     }
 }
 
+/// The churn tentpole's regime under the DST oracle: a 10⁵-peer bulk-built
+/// ring mutated *only* through batched `ChurnWindow` sweeps (1% of the
+/// membership per window, F12b's rate). Because no one-at-a-time overlay
+/// event ever degrades the wiring, the world stays converged and the
+/// **full** ground-truth invariant oracle runs after every window — each
+/// batched repair sweep must hand back a perfectly wired ring, with item
+/// losses exactly the crashed primaries'.
+#[test]
+fn churn_windows_keep_a_mega_scale_ring_fully_converged() {
+    use dde_sim::dst::{run_schedule, DstEvent, Schedule};
+    use dde_stats::rng::splitmix64;
+
+    let e = |i: u64| splitmix64(0xC4A2 ^ i);
+    let mut events = Vec::new();
+    for round in 0..3u64 {
+        events.push(DstEvent::ChurnWindow { entropy: e(round), count: 2_000 });
+        events.push(DstEvent::Probe { initiator_rank: e(round + 0x10), point: e(round + 0x20) });
+        events.push(DstEvent::Insert {
+            initiator_rank: e(round + 0x30),
+            value_entropy: e(round + 0x40),
+        });
+        events.push(DstEvent::EstimateRefresh {
+            initiator_rank: e(round + 0x50),
+            entropy: e(round + 0x60),
+        });
+    }
+    let schedule = Schedule {
+        seed: 0xC4A2,
+        peers: 100_000,
+        items: 200_000,
+        replication: 1,
+        bug: None,
+        events,
+    };
+    let report = run_schedule(&schedule).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(report.events, 12);
+    // Join-biased windows keep the size near 10^5 against the crash losses.
+    assert!(
+        report.final_peers > 99_000 && report.final_peers < 103_100,
+        "final size {} drifted",
+        report.final_peers
+    );
+}
+
 #[test]
 fn injected_bug_is_caught_shrunk_and_replays_byte_identically() {
     let cfg = DstConfig { bug: Some(InjectedBug::SkipSuccessorOnHeal), ..DstConfig::default() };

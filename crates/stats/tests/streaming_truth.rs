@@ -75,6 +75,50 @@ proptest! {
             prop_assert_eq!(streamed, materialized, "{:?}", kind);
         }
     }
+
+    /// Incremental truth: after journaling adds (items inserted since the
+    /// parts were frozen) and removes (a subset of streamed values), the
+    /// folded KS is bit-identical to a full recompute over the mutated
+    /// multiset — for every generator kind.
+    #[test]
+    fn journaled_deltas_match_full_recompute(
+        seed in 0u64..(1u64 << 32),
+        n in 2usize..400,
+        peers in 1usize..16,
+        add_n in 0usize..64,
+        remove_frac in 0.0f64..0.5,
+    ) {
+        for kind in kinds() {
+            let (parts, all) = partitioned_sample(&kind, seed, n, peers);
+            let dist = kind.build(0.0, 1000.0);
+            let mut rng = SeedSequence::new(seed ^ 0xD317A).stream(Component::Dataset, 7);
+            let adds: Vec<f64> = (0..add_n).map(|_| dist.sample(&mut rng)).collect();
+            // Remove a random subset of the *streamed* values (multiset
+            // semantics: duplicates removed once per journal entry).
+            let remove_n = ((n as f64) * remove_frac) as usize;
+            let mut pool = all.clone();
+            let mut removes = Vec::with_capacity(remove_n);
+            for _ in 0..remove_n {
+                removes.push(pool.swap_remove(rng.gen_range(0..pool.len())));
+            }
+            // Materialized recompute over the mutated multiset.
+            let mut mutated = pool;
+            mutated.extend(&adds);
+            mutated.sort_by(f64::total_cmp);
+            let expected_items = mutated.len() as u64;
+            let materialized = Ecdf::new(mutated).ks_distance_to(dist.as_ref());
+            let mut truth = StreamingTruth::new(kind.build(0.0, 1000.0), n as u64);
+            truth.journal_adds(adds);
+            truth.journal_removes(removes);
+            prop_assert_eq!(truth.items(), expected_items, "{:?}", kind);
+            let streamed = truth.ks_of_parts(parts.iter().map(Vec::as_slice));
+            prop_assert!(
+                (streamed - materialized).abs() < 1e-9,
+                "{kind:?}: folded {streamed} vs recomputed {materialized}"
+            );
+            prop_assert_eq!(streamed, materialized, "{:?}", kind);
+        }
+    }
 }
 
 /// Duplicated values across different parts must not perturb the running
